@@ -1,0 +1,667 @@
+// Package annotadb discovers and maintains correlations in annotated
+// databases. It is a Go implementation of "Discovering Correlations in
+// Annotated Databases" (Donohue, advised by Eltabakh; WPI 2015 / EDBT 2016):
+// association rules whose right-hand side is an annotation are mined from an
+// annotated relation, kept incrementally up to date as tuples and
+// annotations arrive, and exploited to recommend missing annotations.
+//
+// The package exposes four building blocks:
+//
+//   - Dataset: an annotated relation, loadable from the paper's text format
+//     (one tuple per line, Annot_-prefixed tokens are annotations);
+//   - Mine: one-shot rule discovery (data-to-annotation and
+//     annotation-to-annotation families, via Apriori or FP-Growth);
+//   - Engine: incremental maintenance — rules stay exact while annotated
+//     tuples, un-annotated tuples, and annotation batches are applied
+//     (the paper's Cases 1–3);
+//   - Recommender: rule-backed suggestions of missing annotations, both as
+//     database scans and as insert triggers.
+//
+// Generalization rules ("Annot_X : Annot_1, Annot_5") can be applied to a
+// Dataset or routed through an Engine, extending the database with concept
+// labels so correlations hidden by raw-annotation variance become minable.
+//
+// A minimal session:
+//
+//	ds, _ := annotadb.LoadDataset("dataset.txt")
+//	eng, _ := annotadb.NewEngine(ds, annotadb.Options{MinSupport: 0.4, MinConfidence: 0.8})
+//	for _, r := range eng.Rules() {
+//		fmt.Println(r)
+//	}
+//	eng.AddAnnotations([]annotadb.AnnotationUpdate{{Tuple: 150, Annotation: "Annot_3"}})
+//	for _, rec := range eng.RecommendAll(annotadb.RecommendOptions{}) {
+//		fmt.Println(rec)
+//	}
+package annotadb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"annotadb/internal/generalize"
+	"annotadb/internal/incremental"
+	"annotadb/internal/itemset"
+	"annotadb/internal/mining"
+	"annotadb/internal/predict"
+	"annotadb/internal/relation"
+	"annotadb/internal/rules"
+	"annotadb/internal/storage"
+)
+
+// AnnotationPrefix is the token prefix that marks annotations in dataset
+// files, matching the paper's Annot_* convention.
+const AnnotationPrefix = storage.DefaultAnnotationPrefix
+
+// Dataset is an annotated relation: tuples of data values with attached
+// annotation sets. The zero value is not usable; construct with NewDataset,
+// ReadDataset, or LoadDataset.
+type Dataset struct {
+	rel *relation.Relation
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset {
+	return &Dataset{rel: relation.New()}
+}
+
+// ReadDataset parses the paper's dataset format (Figure 4) from r.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	rel, err := storage.ReadDataset(r, storage.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{rel: rel}, nil
+}
+
+// LoadDataset parses a dataset file in the paper's format.
+func LoadDataset(path string) (*Dataset, error) {
+	rel, err := storage.ReadDatasetFile(path, storage.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{rel: rel}, nil
+}
+
+// Len returns the number of tuples.
+func (d *Dataset) Len() int { return d.rel.Len() }
+
+// AddTuple appends one tuple and returns its zero-based position.
+// Annotation tokens must carry the Annot_ prefix if the dataset is to be
+// written back in the paper's file format.
+func (d *Dataset) AddTuple(values []string, annotations []string) (int, error) {
+	tu, err := buildTuple(d.rel.Dictionary(), values, annotations)
+	if err != nil {
+		return 0, err
+	}
+	return d.rel.Append(tu), nil
+}
+
+// Tuple returns the tokens of the tuple at position i.
+func (d *Dataset) Tuple(i int) (values []string, annotations []string, err error) {
+	tu, err := d.rel.Tuple(i)
+	if err != nil {
+		return nil, nil, err
+	}
+	dict := d.rel.Dictionary()
+	return dict.Tokens(tu.Data), dict.Tokens(tu.Annots), nil
+}
+
+// Stats summarizes the dataset.
+type Stats struct {
+	Tuples              int
+	AnnotatedTuples     int
+	Attachments         int
+	DistinctAnnotations int
+	DistinctValues      int
+}
+
+// Stats computes summary statistics.
+func (d *Dataset) Stats() Stats {
+	s := d.rel.Stats()
+	return Stats{
+		Tuples:              s.Tuples,
+		AnnotatedTuples:     s.AnnotatedTuples,
+		Attachments:         s.Annotations,
+		DistinctAnnotations: s.DistinctAnnots,
+		DistinctValues:      s.DistinctData,
+	}
+}
+
+// Write writes the dataset in the paper's file format.
+func (d *Dataset) Write(w io.Writer) error {
+	return storage.WriteDataset(w, d.rel, storage.Options{})
+}
+
+// Save writes the dataset file atomically (temp file + rename), mirroring
+// the paper's application, which rewrites the dataset after every update.
+func (d *Dataset) Save(path string) error {
+	return storage.WriteDatasetFile(path, d.rel, storage.Options{})
+}
+
+// AnnotationFrequency returns the number of tuples carrying the annotation
+// token — the paper's annotation frequency table.
+func (d *Dataset) AnnotationFrequency(token string) int {
+	it, ok := d.rel.Dictionary().Lookup(token)
+	if !ok {
+		return 0
+	}
+	return d.rel.Frequency(it)
+}
+
+func buildTuple(dict *relation.Dictionary, values, annotations []string) (relation.Tuple, error) {
+	items := make([]itemset.Item, 0, len(values)+len(annotations))
+	for _, tok := range values {
+		it, err := dict.InternData(tok)
+		if err != nil {
+			return relation.Tuple{}, err
+		}
+		items = append(items, it)
+	}
+	for _, tok := range annotations {
+		it, err := dict.InternAnnotation(tok)
+		if err != nil {
+			return relation.Tuple{}, err
+		}
+		items = append(items, it)
+	}
+	return relation.NewTuple(items...), nil
+}
+
+// Options configure mining and maintenance.
+type Options struct {
+	// MinSupport α and MinConfidence β (Defs. 4.2/4.3 thresholds).
+	MinSupport    float64
+	MinConfidence float64
+	// Algorithm selects the miner: "apriori" (default) or "fpgrowth".
+	Algorithm string
+	// CandidateSlack γ keeps near-miss rules down to γ·α·N for cheap
+	// incremental promotion; 0 means the default 0.8, 1 disables the pool.
+	CandidateSlack float64
+	// MaxPatternLen bounds rule pattern size; 0 is unbounded.
+	MaxPatternLen int
+	// Parallelism bounds mining goroutines; 0 uses GOMAXPROCS.
+	Parallelism int
+	// ExcludeGeneralizations hides derived labels from mining.
+	ExcludeGeneralizations bool
+}
+
+func (o Options) internal() (mining.Config, error) {
+	cfg := mining.Config{
+		MinSupport:     o.MinSupport,
+		MinConfidence:  o.MinConfidence,
+		CandidateSlack: o.CandidateSlack,
+		MaxLen:         o.MaxPatternLen,
+		Parallelism:    o.Parallelism,
+		ExcludeDerived: o.ExcludeGeneralizations,
+	}
+	switch strings.ToLower(o.Algorithm) {
+	case "", "apriori":
+		cfg.Algorithm = mining.AlgorithmApriori
+	case "fpgrowth", "fp-growth":
+		cfg.Algorithm = mining.AlgorithmFPGrowth
+	default:
+		return cfg, fmt.Errorf("annotadb: unknown algorithm %q (want apriori or fpgrowth)", o.Algorithm)
+	}
+	return cfg, cfg.Validate()
+}
+
+// RuleKind names the two rule families of the paper.
+type RuleKind string
+
+const (
+	// DataToAnnotation rules have data values on the left-hand side.
+	DataToAnnotation RuleKind = "data-to-annotation"
+	// AnnotationToAnnotation rules have annotations on the left-hand side.
+	AnnotationToAnnotation RuleKind = "annotation-to-annotation"
+)
+
+// Rule is an association rule with string tokens and derived statistics.
+type Rule struct {
+	LHS        []string
+	RHS        string
+	Kind       RuleKind
+	Support    float64
+	Confidence float64
+	// Raw integer counts: PatternCount tuples contain LHS∪{RHS}, LHSCount
+	// contain LHS, out of N tuples.
+	PatternCount int
+	LHSCount     int
+	N            int
+}
+
+// String renders the Figure 7 output line.
+func (r Rule) String() string {
+	return fmt.Sprintf("%s -> %s (confidence: %.4f, support: %.4f)",
+		strings.Join(r.LHS, ", "), r.RHS, r.Confidence, r.Support)
+}
+
+func publicRule(r rules.Rule, dict *relation.Dictionary) Rule {
+	kind := DataToAnnotation
+	if r.Kind() == rules.AnnotationToAnnotation {
+		kind = AnnotationToAnnotation
+	}
+	return Rule{
+		LHS:          dict.Tokens(r.LHS),
+		RHS:          dict.Token(r.RHS),
+		Kind:         kind,
+		Support:      r.Support(),
+		Confidence:   r.Confidence(),
+		PatternCount: r.PatternCount,
+		LHSCount:     r.LHSCount,
+		N:            r.N,
+	}
+}
+
+func publicRules(set *rules.Set, dict *relation.Dictionary) []Rule {
+	sorted := set.Sorted()
+	out := make([]Rule, len(sorted))
+	for i, r := range sorted {
+		out[i] = publicRule(r, dict)
+	}
+	return out
+}
+
+// Mine runs a one-shot mining pass and returns the valid rules, ordered
+// deterministically (data-to-annotation first, then lexicographically).
+func Mine(d *Dataset, opts Options) ([]Rule, error) {
+	cfg, err := opts.internal()
+	if err != nil {
+		return nil, err
+	}
+	res, err := mining.Mine(d.rel, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return publicRules(res.Rules, d.rel.Dictionary()), nil
+}
+
+// WriteRules writes rules in the paper's Figure 7 output format.
+func WriteRules(w io.Writer, rs []Rule, minSupport, minConfidence float64) error {
+	if _, err := fmt.Fprintf(w, "# association rules (min support %.4f, min confidence %.4f)\n", minSupport, minConfidence); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		if _, err := fmt.Fprintln(w, r.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AnnotationUpdate attaches Annotation to the tuple at zero-based position
+// Tuple (the programmatic form of a Figure 14 batch line).
+type AnnotationUpdate struct {
+	Tuple      int
+	Annotation string
+}
+
+// UpdateReport summarizes one incremental maintenance operation.
+type UpdateReport struct {
+	// Operation names the update case that ran.
+	Operation string
+	// Applied counts tuples appended or annotations attached; Skipped
+	// counts duplicate annotation attachments ignored.
+	Applied int
+	Skipped int
+	// Rule churn caused by the update.
+	Promoted   int
+	Demoted    int
+	Discovered int
+	Dropped    int
+	// Remined records that the engine fell back to a full re-mine.
+	Remined bool
+	// DurationSeconds is the wall time of the maintenance work.
+	DurationSeconds float64
+}
+
+func publicReport(r *incremental.Report) UpdateReport {
+	return UpdateReport{
+		Operation:       r.Case.String(),
+		Applied:         r.Applied,
+		Skipped:         r.Skipped,
+		Promoted:        r.Promoted,
+		Demoted:         r.Demoted,
+		Discovered:      r.Discovered,
+		Dropped:         r.Dropped,
+		Remined:         r.Remined,
+		DurationSeconds: r.Duration.Seconds(),
+	}
+}
+
+// TupleSpec is a tuple to insert: data value tokens plus annotation tokens.
+type TupleSpec struct {
+	Values      []string
+	Annotations []string
+}
+
+// Engine maintains the rule set of a dataset incrementally. After an Engine
+// is created, route all dataset mutations through it; mutating the Dataset
+// directly leaves the engine's rules stale.
+type Engine struct {
+	ds  *Dataset
+	eng *incremental.Engine
+}
+
+// NewEngine mines the dataset once and returns an engine that keeps the
+// result exact under updates.
+func NewEngine(d *Dataset, opts Options) (*Engine, error) {
+	cfg, err := opts.internal()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := incremental.New(d.rel, cfg, incremental.Options{
+		DisableCandidateStore: opts.CandidateSlack >= 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{ds: d, eng: eng}, nil
+}
+
+// Dataset returns the engine's dataset (treat as read-only).
+func (e *Engine) Dataset() *Dataset { return e.ds }
+
+// Rules returns the current valid rules, deterministically ordered.
+func (e *Engine) Rules() []Rule {
+	return publicRules(e.eng.Rules(), e.ds.rel.Dictionary())
+}
+
+// Candidates returns the near-miss candidate store (rules slightly below
+// the thresholds, retained for cheap promotion).
+func (e *Engine) Candidates() []Rule {
+	return publicRules(e.eng.Candidates(), e.ds.rel.Dictionary())
+}
+
+// AddTuples appends a batch of tuples, choosing the paper's Case 1 path
+// when any tuple carries annotations and the cheaper Case 2 path when none
+// do.
+func (e *Engine) AddTuples(batch []TupleSpec) (UpdateReport, error) {
+	dict := e.ds.rel.Dictionary()
+	tuples := make([]relation.Tuple, 0, len(batch))
+	annotated := false
+	for i, spec := range batch {
+		tu, err := buildTuple(dict, spec.Values, spec.Annotations)
+		if err != nil {
+			return UpdateReport{}, fmt.Errorf("annotadb: tuple %d: %w", i, err)
+		}
+		if tu.Annotated() {
+			annotated = true
+		}
+		tuples = append(tuples, tu)
+	}
+	var (
+		rep *incremental.Report
+		err error
+	)
+	if annotated {
+		rep, err = e.eng.AddAnnotatedTuples(tuples)
+	} else {
+		rep, err = e.eng.AddUnannotatedTuples(tuples)
+	}
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	return publicReport(rep), nil
+}
+
+// AddAnnotations applies a batch of annotation attachments (Case 3,
+// Figures 12–13). Duplicate attachments are skipped and reported, matching
+// the paper's "a data tuple can have a given label at most once".
+func (e *Engine) AddAnnotations(batch []AnnotationUpdate) (UpdateReport, error) {
+	dict := e.ds.rel.Dictionary()
+	updates := make([]relation.AnnotationUpdate, 0, len(batch))
+	for i, u := range batch {
+		it, err := dict.InternAnnotation(u.Annotation)
+		if err != nil {
+			return UpdateReport{}, fmt.Errorf("annotadb: update %d: %w", i, err)
+		}
+		updates = append(updates, relation.AnnotationUpdate{Index: u.Tuple, Annotation: it})
+	}
+	rep, err := e.eng.AddAnnotations(updates)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	return publicReport(rep), nil
+}
+
+// RemoveAnnotations detaches a batch of annotations (the paper's §6 future
+// work, implemented as Case 3 in reverse). Entries whose annotation is not
+// present are skipped and reported. Confidence can rise under removal, so
+// the report may show promotions.
+func (e *Engine) RemoveAnnotations(batch []AnnotationUpdate) (UpdateReport, error) {
+	dict := e.ds.rel.Dictionary()
+	updates := make([]relation.AnnotationUpdate, 0, len(batch))
+	for i, u := range batch {
+		it, ok := dict.Lookup(u.Annotation)
+		if !ok {
+			return UpdateReport{}, fmt.Errorf("annotadb: removal %d: annotation %q unknown to this dataset", i, u.Annotation)
+		}
+		if !it.IsAnnotation() {
+			return UpdateReport{}, fmt.Errorf("annotadb: removal %d: token %q is a data value", i, u.Annotation)
+		}
+		updates = append(updates, relation.AnnotationUpdate{Index: u.Tuple, Annotation: it})
+	}
+	rep, err := e.eng.RemoveAnnotations(updates)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	return publicReport(rep), nil
+}
+
+// ApplyUpdateFile reads a Figure 14-format annotation batch ("150:Annot_3",
+// 1-based tuple indexes) and applies it through the engine.
+func (e *Engine) ApplyUpdateFile(r io.Reader) (UpdateReport, error) {
+	lines, err := storage.ReadUpdateBatch(r, storage.Options{})
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	updates, err := storage.ResolveUpdates(e.ds.rel, lines)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	rep, err := e.eng.AddAnnotations(updates)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	return publicReport(rep), nil
+}
+
+// Verify re-mines from scratch and checks the maintained rules are
+// identical — the paper's own validation methodology, exposed for tests and
+// audits.
+func (e *Engine) Verify() error { return e.eng.Verify() }
+
+// Generalization is one concept-mapping rule (Figure 9): any tuple carrying
+// any source annotation receives Label.
+type Generalization struct {
+	Label   string
+	Sources []string
+}
+
+// GeneralizationReport summarizes one generalization pass.
+type GeneralizationReport struct {
+	// Attached counts new (tuple, label) attachments.
+	Attached int
+	// PerLabel breaks Attached down by label.
+	PerLabel map[string]int
+	// UnknownSources lists source annotations absent from the dataset.
+	UnknownSources []string
+	// Update carries the maintenance report when the pass ran through an
+	// Engine.
+	Update *UpdateReport
+}
+
+// ParseGeneralizations reads Figure 9-format rules
+// ("Annot_X : Annot_1, Annot_5").
+func ParseGeneralizations(r io.Reader) ([]Generalization, error) {
+	parsed, err := generalize.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Generalization, len(parsed))
+	for i, g := range parsed {
+		out[i] = Generalization{Label: g.Label, Sources: g.Sources}
+	}
+	return out, nil
+}
+
+func buildHierarchy(gens []Generalization) (*generalize.Hierarchy, error) {
+	rs := make([]generalize.Rule, len(gens))
+	for i, g := range gens {
+		rs[i] = generalize.Rule{Label: g.Label, Sources: g.Sources}
+	}
+	return generalize.Build(rs)
+}
+
+// ApplyGeneralizations extends the dataset with concept labels (at most one
+// per tuple per label; idempotent). Use Engine.ApplyGeneralizations instead
+// when an engine manages the dataset.
+func (d *Dataset) ApplyGeneralizations(gens []Generalization) (*GeneralizationReport, error) {
+	h, err := buildHierarchy(gens)
+	if err != nil {
+		return nil, err
+	}
+	res, err := h.Apply(d.rel)
+	if err != nil {
+		return nil, err
+	}
+	return &GeneralizationReport{Attached: res.Attached, PerLabel: res.PerLabel, UnknownSources: res.UnknownSources}, nil
+}
+
+// ApplyGeneralizations extends the engine's dataset with concept labels and
+// routes the attachments through incremental maintenance as a Case 3 batch,
+// so the mined rules immediately reflect the extended database.
+func (e *Engine) ApplyGeneralizations(gens []Generalization) (*GeneralizationReport, error) {
+	h, err := buildHierarchy(gens)
+	if err != nil {
+		return nil, err
+	}
+	plan, res, err := h.PlanUpdates(e.ds.rel)
+	if err != nil {
+		return nil, err
+	}
+	out := &GeneralizationReport{Attached: res.Attached, PerLabel: res.PerLabel, UnknownSources: res.UnknownSources}
+	if len(plan) == 0 {
+		return out, nil
+	}
+	rep, err := e.eng.AddAnnotations(plan)
+	if err != nil {
+		return nil, err
+	}
+	pub := publicReport(rep)
+	out.Update = &pub
+	return out, nil
+}
+
+// Recommendation proposes attaching Annotation to the tuple at zero-based
+// position Tuple (-1 for a tuple not yet inserted), justified by Rule.
+type Recommendation struct {
+	Tuple      int
+	Annotation string
+	Rule       Rule
+}
+
+// String renders the recommendation for curators, with the supporting
+// rule's properties as the paper's Figure 17 prescribes.
+func (r Recommendation) String() string {
+	target := "incoming tuple"
+	if r.Tuple >= 0 {
+		target = fmt.Sprintf("tuple %d", r.Tuple+1)
+	}
+	return fmt.Sprintf("%s: add %s  [because %s]", target, r.Annotation, r.Rule)
+}
+
+// RecommendOptions filter recommendation output.
+type RecommendOptions struct {
+	// MinConfidence and MinSupport filter supporting rules beyond their
+	// validity thresholds.
+	MinConfidence float64
+	MinSupport    float64
+	// ExcludeGeneralizations suppresses recommendations of derived labels.
+	ExcludeGeneralizations bool
+	// Limit caps the number of recommendations (0 = unbounded).
+	Limit int
+}
+
+func (o RecommendOptions) internal() predict.Options {
+	return predict.Options{
+		MinConfidence:  o.MinConfidence,
+		MinSupport:     o.MinSupport,
+		ExcludeDerived: o.ExcludeGeneralizations,
+		Limit:          o.Limit,
+	}
+}
+
+func publicRecommendations(recs []predict.Recommendation, dict *relation.Dictionary) []Recommendation {
+	out := make([]Recommendation, len(recs))
+	for i, r := range recs {
+		out[i] = Recommendation{
+			Tuple:      r.TupleIndex,
+			Annotation: dict.Token(r.Annotation),
+			Rule:       publicRule(r.Rule, dict),
+		}
+	}
+	return out
+}
+
+// RecommendAll scans the whole dataset for missing annotations (§5 case 1).
+func (e *Engine) RecommendAll(opts RecommendOptions) []Recommendation {
+	rc := predict.NewRecommender(e.ds.rel, e.eng, opts.internal())
+	return publicRecommendations(rc.ScanAll(), e.ds.rel.Dictionary())
+}
+
+// RecommendRange scans tuple positions [start, end).
+func (e *Engine) RecommendRange(start, end int, opts RecommendOptions) []Recommendation {
+	rc := predict.NewRecommender(e.ds.rel, e.eng, opts.internal())
+	return publicRecommendations(rc.ScanRange(start, end), e.ds.rel.Dictionary())
+}
+
+// RecommendForTuple evaluates a tuple before insertion (§5 case 2, the
+// trigger path): which annotations would the current rules suggest?
+func (e *Engine) RecommendForTuple(spec TupleSpec, opts RecommendOptions) ([]Recommendation, error) {
+	tu, err := buildTuple(e.ds.rel.Dictionary(), spec.Values, spec.Annotations)
+	if err != nil {
+		return nil, err
+	}
+	rc := predict.NewRecommender(e.ds.rel, e.eng, opts.internal())
+	return publicRecommendations(rc.ForTuple(tu), e.ds.rel.Dictionary()), nil
+}
+
+// AddTuplesWithTrigger appends a batch and immediately returns trigger
+// recommendations for the inserted tuples, mirroring the paper's
+// database-trigger exploitation: "when a patch of new tuples is added to
+// the database, the system automatically compares these tuples to the
+// association rules".
+func (e *Engine) AddTuplesWithTrigger(batch []TupleSpec, opts RecommendOptions) (UpdateReport, []Recommendation, error) {
+	start := e.ds.Len()
+	rep, err := e.AddTuples(batch)
+	if err != nil {
+		return UpdateReport{}, nil, err
+	}
+	rc := predict.NewRecommender(e.ds.rel, e.eng, opts.internal())
+	recs := publicRecommendations(rc.OnInsert(start), e.ds.rel.Dictionary())
+	return rep, recs, nil
+}
+
+// Annotations lists every annotation token present in the dataset with its
+// frequency, sorted by token.
+func (d *Dataset) Annotations() []AnnotationCount {
+	dict := d.rel.Dictionary()
+	var out []AnnotationCount
+	for it, n := range d.rel.FrequencyTable() {
+		if n > 0 {
+			out = append(out, AnnotationCount{Token: dict.Token(it), Count: n, Derived: it.IsDerived()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Token < out[j].Token })
+	return out
+}
+
+// AnnotationCount pairs an annotation token with its tuple frequency.
+type AnnotationCount struct {
+	Token   string
+	Count   int
+	Derived bool
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	if err := run([]string{"-quick", "-experiment", "E2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-quick", "-experiment", "E99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-tuples", "abc"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	// Tiny overridden run exercises the flag plumbing end to end.
+	if err := run([]string{"-quick", "-tuples", "150", "-sup", "0.45", "-conf", "0.85", "-seed", "9", "-experiment", "E5"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Command annotgen generates synthetic annotated datasets in the paper's
+// Figure 4 file format, plus companion update batches (Figure 14) and a
+// sample generalization-rule file (Figure 9). It stands in for the paper's
+// unpublished evaluation dataset: co-occurrence structure is planted at
+// known support and confidence, which is all the mining algorithms observe.
+//
+// Usage:
+//
+//	annotgen -out dataset.txt [-tuples 8000] [-seed 1]
+//	         [-updates updates.txt -update-count 200]
+//	         [-genrules genrules.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"annotadb/internal/generalize"
+	"annotadb/internal/storage"
+	"annotadb/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "annotgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("annotgen", flag.ContinueOnError)
+	var (
+		out         = fs.String("out", "dataset.txt", "output dataset file (Figure 4 format)")
+		tuples      = fs.Int("tuples", 8000, "number of tuples (the paper evaluated ≈8000)")
+		seed        = fs.Int64("seed", 1, "random seed (generation is deterministic)")
+		updates     = fs.String("updates", "", "also write a Figure 14 annotation-update batch to this file")
+		updateCount = fs.Int("update-count", 200, "number of annotation updates in the batch")
+		genrules    = fs.String("genrules", "", "also write a sample Figure 9 generalization-rule file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := workload.Default8K(*seed)
+	spec.Tuples = *tuples
+	gen, err := workload.NewGenerator(spec)
+	if err != nil {
+		return err
+	}
+	rel, err := gen.Generate()
+	if err != nil {
+		return err
+	}
+	if err := storage.WriteDatasetFile(*out, rel, storage.Options{}); err != nil {
+		return err
+	}
+	st := rel.Stats()
+	fmt.Printf("wrote %s: %d tuples, %d annotated, %d distinct annotations\n",
+		*out, st.Tuples, st.AnnotatedTuples, st.DistinctAnnots)
+
+	if *updates != "" {
+		batch, err := gen.AnnotationBatch(rel, *updateCount, 0.6)
+		if err != nil {
+			return err
+		}
+		lines := make([]storage.UpdateLine, len(batch))
+		dict := rel.Dictionary()
+		for i, u := range batch {
+			lines[i] = storage.UpdateLine{Index: u.Index, Token: dict.Token(u.Annotation)}
+		}
+		f, err := os.Create(*updates)
+		if err != nil {
+			return err
+		}
+		if err := storage.WriteUpdateBatch(f, lines); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d annotation updates\n", *updates, len(lines))
+	}
+
+	if *genrules != "" {
+		rs := []generalize.Rule{
+			{Label: "Annot_Flagged", Sources: []string{"Annot_1", "Annot_5"}},
+			{Label: "Annot_Reviewed", Sources: []string{"Annot_4"}},
+			{Label: "Annot_Curated", Sources: []string{"Annot_Flagged", "Annot_Reviewed"}},
+		}
+		f, err := os.Create(*genrules)
+		if err != nil {
+			return err
+		}
+		if err := generalize.Write(f, rs); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d generalization rules\n", *genrules, len(rs))
+	}
+	return nil
+}

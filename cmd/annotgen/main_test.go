@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"annotadb/internal/generalize"
+	"annotadb/internal/storage"
+)
+
+func TestRunGeneratesParseableArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	ds := filepath.Join(dir, "dataset.txt")
+	up := filepath.Join(dir, "updates.txt")
+	gr := filepath.Join(dir, "genrules.txt")
+	err := run([]string{
+		"-out", ds, "-tuples", "300", "-seed", "7",
+		"-updates", up, "-update-count", "40",
+		"-genrules", gr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := storage.ReadDatasetFile(ds, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 300 {
+		t.Errorf("dataset has %d tuples, want 300", rel.Len())
+	}
+	lines, err := storage.ReadUpdateBatchFile(up, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 40 {
+		t.Errorf("update batch has %d lines, want 40", len(lines))
+	}
+	for _, l := range lines {
+		if l.Index < 0 || l.Index >= rel.Len() {
+			t.Errorf("update line index %d out of range", l.Index)
+		}
+	}
+	rules, err := generalize.ParseFile(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Errorf("genrules has %d rules, want 3", len(rules))
+	}
+	if _, err := generalize.Build(rules); err != nil {
+		t.Errorf("generated hierarchy does not build: %v", err)
+	}
+}
+
+func TestRunDeterministicAcrossSeeds(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.txt")
+	b := filepath.Join(dir, "b.txt")
+	for _, path := range []string{a, b} {
+		if err := run([]string{"-out", path, "-tuples", "100", "-seed", "3"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ba, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ba) != string(bb) {
+		t.Error("same seed produced different dataset files")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-tuples", "notanumber"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-out", filepath.Join(t.TempDir(), "x.txt"), "-tuples", "-5"}); err == nil {
+		t.Error("negative tuple count accepted")
+	}
+}
+
+func TestRunUpdatesRequireDataset(t *testing.T) {
+	// Updates against an empty dataset: batch generation yields nothing
+	// rather than failing.
+	dir := t.TempDir()
+	ds := filepath.Join(dir, "empty.txt")
+	up := filepath.Join(dir, "up.txt")
+	if err := run([]string{"-out", ds, "-tuples", "0", "-updates", up, "-update-count", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	content, err := os.ReadFile(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(content)) != "" {
+		t.Errorf("updates for empty dataset: %q", content)
+	}
+}

@@ -1,0 +1,400 @@
+// Command annotminer is the interactive menu application of the paper
+// (Figures 5, 6, 14, 15): load a dataset file, discover data-to-annotation
+// and annotation-to-annotation rules at user-supplied thresholds, apply the
+// three kinds of incremental updates, apply generalization rules, and emit
+// rule files and recommendations.
+//
+// Usage:
+//
+//	annotminer [dataset.txt]
+//
+// The dataset path may also be entered at the prompt, as in the paper.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"annotadb"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "annotminer:", err)
+		os.Exit(1)
+	}
+}
+
+// session holds the application state between menu selections.
+type session struct {
+	in   *bufio.Scanner
+	out  io.Writer
+	path string
+	ds   *annotadb.Dataset
+	eng  *annotadb.Engine
+	sup  float64
+	conf float64
+}
+
+func run(in io.Reader, out io.Writer, args []string) error {
+	s := &session{in: bufio.NewScanner(in), out: out, sup: 0.4, conf: 0.8}
+	if len(args) > 0 {
+		s.path = args[0]
+	} else {
+		fmt.Fprint(out, "Please enter the file path of the dataset: ")
+		line, ok := s.readLine()
+		if !ok {
+			return nil
+		}
+		s.path = strings.TrimSpace(line)
+	}
+	ds, err := annotadb.LoadDataset(s.path)
+	if err != nil {
+		return err
+	}
+	s.ds = ds
+	st := ds.Stats()
+	fmt.Fprintf(out, "loaded %s: %d tuples, %d annotated, %d distinct annotations\n",
+		s.path, st.Tuples, st.AnnotatedTuples, st.DistinctAnnotations)
+
+	for {
+		s.printMenu()
+		choice, ok := s.readLine()
+		if !ok {
+			return nil
+		}
+		switch strings.TrimSpace(choice) {
+		case "1":
+			err = s.discover(annotadb.DataToAnnotation)
+		case "2":
+			err = s.discover(annotadb.AnnotationToAnnotation)
+		case "3":
+			err = s.applyGeneralizations()
+		case "4":
+			err = s.addAnnotations()
+		case "5":
+			err = s.addTuples(true)
+		case "6":
+			err = s.addTuples(false)
+		case "7":
+			err = s.recommend()
+		case "8":
+			err = s.writeRules()
+		case "9":
+			err = s.save()
+		case "10":
+			err = s.removeAnnotations()
+		case "0", "q", "quit", "exit":
+			fmt.Fprintln(out, "bye")
+			return nil
+		default:
+			fmt.Fprintf(out, "unknown option %q\n", strings.TrimSpace(choice))
+		}
+		if err != nil {
+			// Operational errors are reported and the menu continues, as
+			// an interactive curation tool should.
+			fmt.Fprintf(out, "error: %v\n", err)
+			err = nil
+		}
+	}
+}
+
+func (s *session) printMenu() {
+	fmt.Fprintf(s.out, `
+Please select an operation:
+ 1. Discover data-to-annotation rules
+ 2. Discover annotation-to-annotation rules
+ 3. Apply generalization rules from a file
+ 4. Add new annotations from an update file (Case 3)
+ 5. Add annotated tuples from a file (Case 1)
+ 6. Add un-annotated tuples from a file (Case 2)
+ 7. Recommend missing annotations
+ 8. Write current rules to a file
+ 9. Save dataset
+10. Remove annotations from an update file
+ 0. Quit
+> `)
+}
+
+func (s *session) readLine() (string, bool) {
+	if !s.in.Scan() {
+		return "", false
+	}
+	return s.in.Text(), true
+}
+
+func (s *session) prompt(msg string) (string, bool) {
+	fmt.Fprint(s.out, msg)
+	line, ok := s.readLine()
+	return strings.TrimSpace(line), ok
+}
+
+func (s *session) promptFloat(msg string, fallback float64) (float64, bool) {
+	line, ok := s.prompt(msg)
+	if !ok {
+		return 0, false
+	}
+	if line == "" {
+		return fallback, true
+	}
+	v, err := strconv.ParseFloat(line, 64)
+	if err != nil {
+		fmt.Fprintf(s.out, "not a number: %q (using %.2f)\n", line, fallback)
+		return fallback, true
+	}
+	return v, true
+}
+
+// ensureEngine (re)creates the incremental engine when thresholds changed
+// or no engine exists yet.
+func (s *session) ensureEngine(sup, conf float64) error {
+	if s.eng != nil && s.sup == sup && s.conf == conf {
+		return nil
+	}
+	eng, err := annotadb.NewEngine(s.ds, annotadb.Options{MinSupport: sup, MinConfidence: conf})
+	if err != nil {
+		return err
+	}
+	s.eng, s.sup, s.conf = eng, sup, conf
+	return nil
+}
+
+// discover mirrors Figure 6: prompt for thresholds, then mine and print the
+// requested rule family.
+func (s *session) discover(kind annotadb.RuleKind) error {
+	sup, ok := s.promptFloat(fmt.Sprintf("Please enter a minimum support value [%.2f]: ", s.sup), s.sup)
+	if !ok {
+		return nil
+	}
+	conf, ok := s.promptFloat(fmt.Sprintf("Please enter a minimum confidence value [%.2f]: ", s.conf), s.conf)
+	if !ok {
+		return nil
+	}
+	if err := s.ensureEngine(sup, conf); err != nil {
+		return err
+	}
+	n := 0
+	for _, r := range s.eng.Rules() {
+		if r.Kind == kind {
+			fmt.Fprintln(s.out, r)
+			n++
+		}
+	}
+	fmt.Fprintf(s.out, "%d %s rules (support ≥ %.2f, confidence ≥ %.2f)\n", n, kind, sup, conf)
+	return nil
+}
+
+func (s *session) requireEngine() error {
+	return s.ensureEngine(s.sup, s.conf)
+}
+
+func (s *session) applyGeneralizations() error {
+	path, ok := s.prompt("Please enter the generalization-rules file path: ")
+	if !ok {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	gens, err := annotadb.ParseGeneralizations(f)
+	if err != nil {
+		return err
+	}
+	if err := s.requireEngine(); err != nil {
+		return err
+	}
+	rep, err := s.eng.ApplyGeneralizations(gens)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "attached %d labels", rep.Attached)
+	for label, n := range rep.PerLabel {
+		fmt.Fprintf(s.out, "  %s:%d", label, n)
+	}
+	fmt.Fprintln(s.out)
+	if len(rep.UnknownSources) > 0 {
+		fmt.Fprintf(s.out, "unknown sources (no matching annotations yet): %s\n", strings.Join(rep.UnknownSources, ", "))
+	}
+	return nil
+}
+
+// addAnnotations is menu option 4 of Figure 15: apply a Figure 14 batch.
+func (s *session) addAnnotations() error {
+	path, ok := s.prompt("Please enter the path of the file containing the updates: ")
+	if !ok {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.requireEngine(); err != nil {
+		return err
+	}
+	rep, err := s.eng.ApplyUpdateFile(f)
+	if err != nil {
+		return err
+	}
+	s.printReport(rep)
+	return nil
+}
+
+func (s *session) addTuples(annotated bool) error {
+	path, ok := s.prompt("Please enter the path of the file containing the tuples to add: ")
+	if !ok {
+		return nil
+	}
+	specs, err := readTupleFile(path)
+	if err != nil {
+		return err
+	}
+	if !annotated {
+		for i, spec := range specs {
+			if len(spec.Annotations) > 0 {
+				return fmt.Errorf("tuple %d in %s carries annotations; use option 5", i+1, path)
+			}
+		}
+	}
+	if err := s.requireEngine(); err != nil {
+		return err
+	}
+	rep, err := s.eng.AddTuples(specs)
+	if err != nil {
+		return err
+	}
+	s.printReport(rep)
+	return nil
+}
+
+func (s *session) printReport(rep annotadb.UpdateReport) {
+	fmt.Fprintf(s.out, "%s: applied %d, skipped %d, promoted %d, demoted %d, discovered %d, dropped %d (%.2f ms)\n",
+		rep.Operation, rep.Applied, rep.Skipped, rep.Promoted, rep.Demoted, rep.Discovered, rep.Dropped,
+		rep.DurationSeconds*1000)
+}
+
+// removeAnnotations reads a Figure 14-format file and detaches the listed
+// annotations — the §6 future-work operation.
+func (s *session) removeAnnotations() error {
+	path, ok := s.prompt("Please enter the path of the file containing the removals: ")
+	if !ok {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.requireEngine(); err != nil {
+		return err
+	}
+	var batch []annotadb.AnnotationUpdate
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idxStr, tok, found := strings.Cut(line, ":")
+		if !found {
+			return fmt.Errorf("%s:%d: expected index:annotation", path, lineNo)
+		}
+		idx, err := strconv.Atoi(strings.TrimSpace(idxStr))
+		if err != nil || idx < 1 {
+			return fmt.Errorf("%s:%d: bad tuple index %q", path, lineNo, idxStr)
+		}
+		batch = append(batch, annotadb.AnnotationUpdate{Tuple: idx - 1, Annotation: strings.TrimSpace(tok)})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	rep, err := s.eng.RemoveAnnotations(batch)
+	if err != nil {
+		return err
+	}
+	s.printReport(rep)
+	return nil
+}
+
+func (s *session) recommend() error {
+	if err := s.requireEngine(); err != nil {
+		return err
+	}
+	recs := s.eng.RecommendAll(annotadb.RecommendOptions{Limit: 50})
+	if len(recs) == 0 {
+		fmt.Fprintln(s.out, "no recommendations — every rule consequence is already present")
+		return nil
+	}
+	for _, r := range recs {
+		fmt.Fprintln(s.out, r)
+	}
+	fmt.Fprintf(s.out, "%d recommendations (curators decide; nothing was modified)\n", len(recs))
+	return nil
+}
+
+func (s *session) writeRules() error {
+	path, ok := s.prompt("Please enter the output file path: ")
+	if !ok {
+		return nil
+	}
+	if err := s.requireEngine(); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := annotadb.WriteRules(f, s.eng.Rules(), s.sup, s.conf); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "wrote %d rules to %s\n", len(s.eng.Rules()), path)
+	return nil
+}
+
+func (s *session) save() error {
+	if err := s.ds.Save(s.path); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "saved %s (%d tuples)\n", s.path, s.ds.Len())
+	return nil
+}
+
+// readTupleFile parses a Figure 4-format file into tuple specs without
+// touching the session dataset's dictionary until AddTuples validates them.
+func readTupleFile(path string) ([]annotadb.TupleSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var specs []annotadb.TupleSpec
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var spec annotadb.TupleSpec
+		for _, tok := range strings.Fields(line) {
+			if strings.HasPrefix(tok, annotadb.AnnotationPrefix) {
+				spec.Annotations = append(spec.Annotations, tok)
+			} else {
+				spec.Values = append(spec.Values, tok)
+			}
+		}
+		specs = append(specs, spec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return specs, nil
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testDataset = `28 85 99 Annot_1 Annot_5
+28 85 12 Annot_1 Annot_5
+28 85 40 Annot_1 Annot_5
+28 85 41 Annot_1
+28 85 Annot_1
+28 41
+41 85 Annot_5
+62 12
+62 40
+99 12
+`
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// drive runs the menu loop with scripted stdin and returns its output.
+func drive(t *testing.T, datasetPath, script string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(strings.NewReader(script), &out, []string{datasetPath}); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestMenuDiscoverRules(t *testing.T) {
+	dir := t.TempDir()
+	ds := writeFile(t, dir, "data.txt", testDataset)
+	// Option 1 with thresholds 0.4 / 0.8 (Figure 6), then quit.
+	out := drive(t, ds, "1\n0.4\n0.8\n0\n")
+	if !strings.Contains(out, "-> Annot_1") {
+		t.Errorf("no data-to-annotation rules in output:\n%s", out)
+	}
+	if !strings.Contains(out, "data-to-annotation rules (support ≥ 0.40, confidence ≥ 0.80)") {
+		t.Errorf("summary line missing:\n%s", out)
+	}
+}
+
+func TestMenuAnnotationRulesAndDefaults(t *testing.T) {
+	dir := t.TempDir()
+	ds := writeFile(t, dir, "data.txt", testDataset)
+	// Empty threshold lines fall back to defaults; option 2 mines A2A.
+	out := drive(t, ds, "2\n0.3\n0.7\n0\n")
+	if !strings.Contains(out, "annotation-to-annotation rules") {
+		t.Errorf("A2A summary missing:\n%s", out)
+	}
+}
+
+func TestMenuCase3UpdateFile(t *testing.T) {
+	dir := t.TempDir()
+	ds := writeFile(t, dir, "data.txt", testDataset)
+	updates := writeFile(t, dir, "updates.txt", "6:Annot_1\n7:Annot_1\n")
+	out := drive(t, ds, "1\n0.4\n0.8\n4\n"+updates+"\n0\n")
+	if !strings.Contains(out, "case3-new-annotations: applied 2") {
+		t.Errorf("update report missing:\n%s", out)
+	}
+}
+
+func TestMenuAddTuplesAndSave(t *testing.T) {
+	dir := t.TempDir()
+	ds := writeFile(t, dir, "data.txt", testDataset)
+	extra := writeFile(t, dir, "extra.txt", "28 85 Annot_1\n62 40\n")
+	plain := writeFile(t, dir, "plain.txt", "62 12\n99\n")
+	out := drive(t, ds, "5\n"+extra+"\n6\n"+plain+"\n9\n0\n")
+	if !strings.Contains(out, "case1-annotated-tuples: applied 2") {
+		t.Errorf("case 1 report missing:\n%s", out)
+	}
+	if !strings.Contains(out, "case2-unannotated-tuples: applied 2") {
+		t.Errorf("case 2 report missing:\n%s", out)
+	}
+	if !strings.Contains(out, "saved") {
+		t.Errorf("save confirmation missing:\n%s", out)
+	}
+	// The saved file reflects the appended tuples.
+	back, err := os.ReadFile(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(back), "\n"); got != 14 {
+		t.Errorf("saved dataset has %d lines, want 14", got)
+	}
+}
+
+func TestMenuRejectsAnnotatedTuplesOnOption6(t *testing.T) {
+	dir := t.TempDir()
+	ds := writeFile(t, dir, "data.txt", testDataset)
+	bad := writeFile(t, dir, "bad.txt", "62 Annot_1\n")
+	out := drive(t, ds, "6\n"+bad+"\n0\n")
+	if !strings.Contains(out, "use option 5") {
+		t.Errorf("misrouted batch not rejected:\n%s", out)
+	}
+}
+
+func TestMenuGeneralizationsAndRecommend(t *testing.T) {
+	dir := t.TempDir()
+	ds := writeFile(t, dir, "data.txt", testDataset)
+	gr := writeFile(t, dir, "genrules.txt", "Annot_X : Annot_1, Annot_5\n")
+	out := drive(t, ds, "3\n"+gr+"\n7\n0\n")
+	if !strings.Contains(out, "attached 6 labels") {
+		t.Errorf("generalization report missing:\n%s", out)
+	}
+	if !strings.Contains(out, "recommendations") {
+		t.Errorf("recommendation output missing:\n%s", out)
+	}
+}
+
+func TestMenuWriteRules(t *testing.T) {
+	dir := t.TempDir()
+	ds := writeFile(t, dir, "data.txt", testDataset)
+	rulesPath := filepath.Join(dir, "rules.txt")
+	out := drive(t, ds, "1\n0.4\n0.8\n8\n"+rulesPath+"\n0\n")
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("write confirmation missing:\n%s", out)
+	}
+	content, err := os.ReadFile(rulesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(content), "-> Annot_1 (confidence:") {
+		t.Errorf("rules file content:\n%s", content)
+	}
+}
+
+func TestMenuBadInputsKeepRunning(t *testing.T) {
+	dir := t.TempDir()
+	ds := writeFile(t, dir, "data.txt", testDataset)
+	// Unknown option, missing file, bad float: session must survive all.
+	out := drive(t, ds, "42\n4\n/nonexistent/file\n1\nabc\ndef\n0\n")
+	if !strings.Contains(out, "unknown option") {
+		t.Errorf("unknown option not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Errorf("missing-file error not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "not a number") {
+		t.Errorf("bad float not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "bye") {
+		t.Errorf("session did not quit cleanly:\n%s", out)
+	}
+}
+
+func TestMenuRemoveAnnotations(t *testing.T) {
+	dir := t.TempDir()
+	ds := writeFile(t, dir, "data.txt", testDataset)
+	removals := writeFile(t, dir, "removals.txt", "1:Annot_1\n6:Annot_1\n")
+	out := drive(t, ds, "1\n0.4\n0.8\n10\n"+removals+"\n0\n")
+	// Line "1:Annot_1" removes from tuple 1 (present); "6:Annot_1" targets
+	// tuple 6 which has no annotations → skipped.
+	if !strings.Contains(out, "case4-remove-annotations: applied 1, skipped 1") {
+		t.Errorf("removal report missing:\n%s", out)
+	}
+}
+
+func TestRunMissingDataset(t *testing.T) {
+	var out strings.Builder
+	err := run(strings.NewReader(""), &out, []string{"/nonexistent/data.txt"})
+	if err == nil {
+		t.Error("missing dataset accepted")
+	}
+}
+
+func TestRunPromptsForPath(t *testing.T) {
+	dir := t.TempDir()
+	ds := writeFile(t, dir, "data.txt", testDataset)
+	var out strings.Builder
+	if err := run(strings.NewReader(ds+"\n0\n"), &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "enter the file path") {
+		t.Errorf("path prompt missing:\n%s", out.String())
+	}
+}

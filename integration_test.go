@@ -1,0 +1,376 @@
+package annotadb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestEndToEndLifecycle drives the complete system the way the paper's
+// application would be used, through files and the public API only:
+// generate → save → load → bootstrap → all four update cases →
+// generalization → recommendations → save → reload → re-mine equality.
+func TestEndToEndLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dataset.txt")
+
+	// Build a dataset with a strong correlation and some free-text-style
+	// annotation variants.
+	ds := NewDataset()
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 400; i++ {
+		var values, annots []string
+		if rng.Float64() < 0.5 {
+			values = append(values, "28", "85")
+			if rng.Float64() < 0.9 {
+				annots = append(annots, "Annot_1")
+			}
+		}
+		values = append(values, fmt.Sprintf("%d", 100+rng.Intn(40)))
+		if rng.Float64() < 0.15 {
+			annots = append(annots, fmt.Sprintf("Annot_v%d", rng.Intn(3)))
+		}
+		if _, err := ds.AddTuple(values, annots); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reload from disk, as the menu application does.
+	loaded, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ds.Len() {
+		t.Fatalf("reload lost tuples: %d != %d", loaded.Len(), ds.Len())
+	}
+
+	opts := Options{MinSupport: 0.35, MinConfidence: 0.8}
+	eng, err := NewEngine(loaded, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRules := len(eng.Rules())
+	if baseRules == 0 {
+		t.Fatal("no rules at bootstrap")
+	}
+
+	// Case 1 + Case 2.
+	if _, err := eng.AddTuples([]TupleSpec{
+		{Values: []string{"28", "85"}, Annotations: []string{"Annot_1"}},
+		{Values: []string{"777"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatalf("after case 1/2 mix: %v", err)
+	}
+
+	// Case 3 via a Figure 14-format update stream.
+	var fig14 strings.Builder
+	for i := 1; i <= 10; i++ {
+		fmt.Fprintf(&fig14, "%d:Annot_extra\n", i)
+	}
+	if _, err := eng.ApplyUpdateFile(strings.NewReader(fig14.String())); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatalf("after update file: %v", err)
+	}
+
+	// Case 4: undo half of those.
+	var removals []AnnotationUpdate
+	for i := 0; i < 5; i++ {
+		removals = append(removals, AnnotationUpdate{Tuple: i, Annotation: "Annot_extra"})
+	}
+	if _, err := eng.RemoveAnnotations(removals); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatalf("after removals: %v", err)
+	}
+
+	// Generalize the free-text variants and confirm the extension mined.
+	rep, err := eng.ApplyGeneralizations([]Generalization{
+		{Label: "Annot_Variant", Sources: []string{"Annot_v0", "Annot_v1", "Annot_v2"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attached == 0 {
+		t.Fatal("generalization attached nothing")
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatalf("after generalization: %v", err)
+	}
+
+	// Recommendations must never suggest an annotation already present.
+	for _, rec := range eng.RecommendAll(RecommendOptions{}) {
+		_, annots, err := loaded.Tuple(rec.Tuple)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range annots {
+			if a == rec.Annotation {
+				t.Fatalf("recommended present annotation: %+v", rec)
+			}
+		}
+	}
+
+	// Save, reload, and confirm a fresh mine of the persisted state matches
+	// the engine's live rules.
+	if err := loaded.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Mine(reloaded, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := eng.Rules()
+	if len(fresh) != len(live) {
+		t.Fatalf("persisted mine found %d rules, live engine has %d", len(fresh), len(live))
+	}
+	for i := range fresh {
+		if fresh[i].String() != live[i].String() {
+			t.Errorf("rule %d: %v != %v", i, fresh[i], live[i])
+		}
+	}
+}
+
+// TestPropertyMineEqualsEngineBootstrap: the one-shot Mine and a fresh
+// Engine must agree on any random dataset and thresholds.
+func TestPropertyMineEqualsEngineBootstrap(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	f := func() bool {
+		ds := NewDataset()
+		n := 30 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			var values, annots []string
+			for v := 0; v < 1+rng.Intn(3); v++ {
+				values = append(values, fmt.Sprintf("v%d", rng.Intn(10)))
+			}
+			for a := 0; a < rng.Intn(3); a++ {
+				annots = append(annots, fmt.Sprintf("Annot_%d", rng.Intn(5)))
+			}
+			if _, err := ds.AddTuple(values, annots); err != nil {
+				t.Fatal(err)
+			}
+		}
+		opts := Options{
+			MinSupport:    0.15 + rng.Float64()*0.3,
+			MinConfidence: 0.5 + rng.Float64()*0.4,
+		}
+		mined, err := Mine(ds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(ds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := eng.Rules()
+		if len(mined) != len(live) {
+			return false
+		}
+		for i := range mined {
+			if mined[i].String() != live[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDatasetRoundTrip: any dataset writable in the paper's format
+// reloads identically.
+func TestPropertyDatasetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	f := func() bool {
+		ds := NewDataset()
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			var values, annots []string
+			for v := 0; v < 1+rng.Intn(4); v++ {
+				values = append(values, fmt.Sprintf("%d", rng.Intn(50)))
+			}
+			for a := 0; a < rng.Intn(3); a++ {
+				annots = append(annots, fmt.Sprintf("Annot_%d", rng.Intn(6)))
+			}
+			if _, err := ds.AddTuple(values, annots); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := ds.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadDataset(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Len() != ds.Len() {
+			return false
+		}
+		for i := 0; i < ds.Len(); i++ {
+			v1, a1, _ := ds.Tuple(i)
+			v2, a2, _ := back.Tuple(i)
+			if strings.Join(v1, " ") != strings.Join(v2, " ") || strings.Join(a1, " ") != strings.Join(a2, " ") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRecommendationsConsistent: every recommendation's supporting
+// rule must be a current valid rule, its LHS must hold on the target tuple,
+// and the annotation must be absent.
+func TestPropertyRecommendationsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	f := func() bool {
+		ds := NewDataset()
+		n := 30 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			var values, annots []string
+			if rng.Float64() < 0.6 {
+				values = append(values, "x", "y")
+				if rng.Float64() < 0.8 {
+					annots = append(annots, "Annot_T")
+				}
+			}
+			values = append(values, fmt.Sprintf("v%d", rng.Intn(8)))
+			if _, err := ds.AddTuple(values, annots); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng, err := NewEngine(ds, Options{MinSupport: 0.3, MinConfidence: 0.6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ruleSet := map[string]bool{}
+		for _, r := range eng.Rules() {
+			ruleSet[r.String()] = true
+		}
+		for _, rec := range eng.RecommendAll(RecommendOptions{}) {
+			if !ruleSet[rec.Rule.String()] {
+				return false // supporting rule not currently valid
+			}
+			values, annots, err := ds.Tuple(rec.Tuple)
+			if err != nil {
+				t.Fatal(err)
+			}
+			have := map[string]bool{}
+			for _, v := range values {
+				have[v] = true
+			}
+			for _, a := range annots {
+				have[a] = true
+				if a == rec.Annotation {
+					return false // recommended a present annotation
+				}
+			}
+			for _, l := range rec.Rule.LHS {
+				if !have[l] {
+					return false // LHS not actually satisfied
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestThresholdEdgeValues exercises the degenerate threshold corners the
+// paper's UI would allow a user to type.
+func TestThresholdEdgeValues(t *testing.T) {
+	ds := sampleDS(t)
+	// Support 1.0: only patterns present in every tuple can found rules —
+	// here, none.
+	rs, err := Mine(ds, Options{MinSupport: 1.0, MinConfidence: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Errorf("support 1.0 produced %d rules", len(rs))
+	}
+	// Support near zero with confidence 0: everything co-occurring founds a
+	// rule; the engine must still bootstrap and verify.
+	eng, err := NewEngine(sampleDS(t), Options{MinSupport: 0.1, MinConfidence: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Rules()) == 0 {
+		t.Error("permissive thresholds found nothing")
+	}
+}
+
+// TestEmptyAndTinyDatasets: the API must behave on degenerate inputs.
+func TestEmptyAndTinyDatasets(t *testing.T) {
+	empty := NewDataset()
+	rs, err := Mine(empty, Options{MinSupport: 0.4, MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Errorf("empty dataset mined %d rules", len(rs))
+	}
+	eng, err := NewEngine(empty, Options{MinSupport: 0.4, MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Growing an empty dataset through the engine must work.
+	if _, err := eng.AddTuples([]TupleSpec{
+		{Values: []string{"1"}, Annotations: []string{"Annot_1"}},
+		{Values: []string{"1"}, Annotations: []string{"Annot_1"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Rules()) == 0 {
+		t.Error("no rule on two identical annotated tuples")
+	}
+}
+
+// TestSingleTupleDataset: the smallest non-empty database.
+func TestSingleTupleDataset(t *testing.T) {
+	ds := NewDataset()
+	if _, err := ds.AddTuple([]string{"a", "b"}, []string{"Annot_1"}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Mine(ds, Options{MinSupport: 0.5, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rs {
+		if r.RHS == "Annot_1" && r.Support == 1.0 && r.Confidence == 1.0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("single-tuple rules = %v", rs)
+	}
+}

@@ -1,0 +1,160 @@
+package apriori
+
+import (
+	"annotadb/internal/itemset"
+)
+
+// hashTree is the candidate-counting structure of the classic Apriori paper:
+// interior nodes hash the item at the current depth into a fixed fan-out,
+// leaves hold candidate lists, and leaves split into interior nodes when
+// they overflow. Counting a transaction walks every root-to-leaf path the
+// transaction's items can reach and then verifies subset containment only
+// against the candidates in the reached leaves, which is what makes counting
+// sub-linear in the number of candidates.
+//
+// Counts are kept in an external slice indexed by candidate ordinal, so
+// several goroutines can count disjoint transaction shards into private
+// slices and merge (see countParallel in miner.go).
+type hashTree struct {
+	root   *htNode
+	cands  []itemset.Itemset
+	fanout int
+	leafSz int
+	k      int // candidate size
+}
+
+type htNode struct {
+	// Interior node: children[h] for h in [0, fanout).
+	children []*htNode
+	// Leaf node: ordinals into hashTree.cands.
+	bucket []int32
+	depth  int
+}
+
+func (n *htNode) isLeaf() bool { return n.children == nil }
+
+const (
+	defaultFanout   = 8
+	defaultLeafSize = 24
+)
+
+// newHashTree builds a tree over candidates, all of which must have size k.
+func newHashTree(cands []itemset.Itemset, k int) *hashTree {
+	t := &hashTree{
+		root:   &htNode{depth: 0},
+		cands:  cands,
+		fanout: defaultFanout,
+		leafSz: defaultLeafSize,
+		k:      k,
+	}
+	for i := range cands {
+		t.insert(t.root, int32(i))
+	}
+	return t
+}
+
+func (t *hashTree) hash(it itemset.Item) int {
+	// Multiplicative hash over the full tagged value; keep positive.
+	h := uint32(it) * 2654435761
+	return int(h % uint32(t.fanout))
+}
+
+func (t *hashTree) insert(n *htNode, ord int32) {
+	for {
+		if n.isLeaf() {
+			// Split when full and there is still an item left to hash on.
+			if len(n.bucket) >= t.leafSz && n.depth < t.k {
+				t.split(n)
+				continue
+			}
+			n.bucket = append(n.bucket, ord)
+			return
+		}
+		item := t.cands[ord][n.depth]
+		child := n.children[t.hash(item)]
+		if child == nil {
+			child = &htNode{depth: n.depth + 1}
+			n.children[t.hash(item)] = child
+		}
+		n = child
+	}
+}
+
+func (t *hashTree) split(n *htNode) {
+	bucket := n.bucket
+	n.bucket = nil
+	n.children = make([]*htNode, t.fanout)
+	for _, ord := range bucket {
+		item := t.cands[ord][n.depth]
+		h := t.hash(item)
+		child := n.children[h]
+		if child == nil {
+			child = &htNode{depth: n.depth + 1}
+			n.children[h] = child
+		}
+		// Children are leaves fresh from the split; they may split again
+		// recursively as they fill.
+		t.insert(child, ord)
+	}
+}
+
+// count runs the tree over transactions sequentially and returns counts per
+// candidate ordinal. A deduplication pass guards against the same leaf being
+// reached via two transaction items that hash identically, which would
+// otherwise double-count contained candidates.
+func (t *hashTree) count(txns []itemset.Itemset) []int {
+	counts := make([]int, len(t.cands))
+	if len(t.cands) == 0 {
+		return counts
+	}
+	seen := make([]uint32, len(t.cands)) // per-transaction stamping
+	var stamp uint32
+	for _, txn := range txns {
+		stamp++
+		t.countStamped(t.root, txn, 0, counts, seen, stamp)
+	}
+	return counts
+}
+
+// countInto behaves like count but accumulates into the provided slice;
+// used by parallel sharding.
+func (t *hashTree) countInto(txns []itemset.Itemset, counts []int) {
+	if len(t.cands) == 0 {
+		return
+	}
+	seen := make([]uint32, len(t.cands))
+	var stamp uint32
+	for _, txn := range txns {
+		stamp++
+		t.countStamped(t.root, txn, 0, counts, seen, stamp)
+	}
+}
+
+func (t *hashTree) countStamped(n *htNode, txn itemset.Itemset, pos int, counts []int, seen []uint32, stamp uint32) {
+	if len(txn) < t.k {
+		return
+	}
+	if n.isLeaf() {
+		for _, ord := range n.bucket {
+			if seen[ord] == stamp {
+				continue
+			}
+			if txn.ContainsAll(t.cands[ord]) {
+				seen[ord] = stamp
+				counts[ord]++
+			} else {
+				// Also stamp misses so repeated leaf visits skip the
+				// containment re-check.
+				seen[ord] = stamp
+			}
+		}
+		return
+	}
+	need := t.k - n.depth
+	for i := pos; i+need <= len(txn); i++ {
+		child := n.children[t.hash(txn[i])]
+		if child != nil {
+			t.countStamped(child, txn, i+1, counts, seen, stamp)
+		}
+	}
+}

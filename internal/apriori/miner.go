@@ -1,0 +1,240 @@
+package apriori
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"annotadb/internal/itemset"
+)
+
+// CountingStrategy selects how candidate occurrences are counted each level.
+type CountingStrategy uint8
+
+const (
+	// CountHashTree uses the classic Apriori hash tree (the default).
+	CountHashTree CountingStrategy = iota
+	// CountNaive tests every candidate against every transaction. Kept for
+	// the E10 ablation and as a trivially correct cross-check in tests.
+	CountNaive
+)
+
+// String names the strategy.
+func (s CountingStrategy) String() string {
+	switch s {
+	case CountHashTree:
+		return "hash-tree"
+	case CountNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("CountingStrategy(%d)", uint8(s))
+	}
+}
+
+// Config parameterizes a mining run.
+type Config struct {
+	// MinCount is the absolute support threshold: an itemset is frequent
+	// when at least MinCount transactions contain it. Callers derive it as
+	// ceil(minSupport × N).
+	MinCount int
+	// MaxAnnotations bounds annotations per itemset: 0 mines pure-data
+	// sets, 1 mines Def. 4.2 rule patterns, -1 disables the bound (used for
+	// the pure-annotation projection of Def. 4.3). See the package comment
+	// for why this is the sound reading of the paper's early elimination.
+	MaxAnnotations int
+	// MaxLen bounds itemset size; 0 means unbounded.
+	MaxLen int
+	// Strategy selects the counting structure.
+	Strategy CountingStrategy
+	// Parallelism is the number of counting goroutines; 0 means GOMAXPROCS,
+	// 1 forces sequential counting.
+	Parallelism int
+}
+
+func (c Config) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// annotationsAllowed reports whether a set with na annotations is inside the
+// constraint budget.
+func (c Config) annotationsAllowed(na int) bool {
+	return c.MaxAnnotations < 0 || na <= c.MaxAnnotations
+}
+
+// Mine runs the level-wise algorithm over the transactions and returns the
+// catalog of frequent itemsets satisfying the annotation constraint.
+//
+// MinCount below 1 is clamped to 1: an itemset that occurs zero times is
+// never frequent, and a zero threshold would enumerate the power set.
+func Mine(txns []itemset.Itemset, cfg Config) *Catalog {
+	if cfg.MinCount < 1 {
+		cfg.MinCount = 1
+	}
+	catalog := NewCatalog(len(txns))
+
+	// L1: count single items.
+	singles := make(map[itemset.Item]int)
+	for _, t := range txns {
+		for _, it := range t {
+			if !cfg.annotationsAllowed(boolToInt(it.IsAnnotation())) {
+				continue
+			}
+			singles[it]++
+		}
+	}
+	var frontier []itemset.Itemset
+	for it, n := range singles {
+		if n >= cfg.MinCount {
+			set := itemset.New(it)
+			catalog.Add(set, n)
+			frontier = append(frontier, set)
+		}
+	}
+	sortSets(frontier)
+
+	for k := 2; len(frontier) > 1 && (cfg.MaxLen == 0 || k <= cfg.MaxLen); k++ {
+		cands := generate(frontier, catalog, cfg)
+		if len(cands) == 0 {
+			break
+		}
+		counts := countCandidates(cands, txns, k, cfg)
+		frontier = frontier[:0]
+		for i, cand := range cands {
+			if counts[i] >= cfg.MinCount {
+				catalog.Add(cand, counts[i])
+				frontier = append(frontier, cand)
+			}
+		}
+		sortSets(frontier)
+	}
+	return catalog
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func sortSets(sets []itemset.Itemset) {
+	sort.Slice(sets, func(i, j int) bool { return sets[i].Compare(sets[j]) < 0 })
+}
+
+// generate implements the Apriori join + prune. The frontier must be sorted;
+// the join pairs sets sharing a (k-1)-prefix, which after sorting are
+// adjacent runs.
+func generate(frontier []itemset.Itemset, catalog *Catalog, cfg Config) []itemset.Itemset {
+	var cands []itemset.Itemset
+	for i := 0; i < len(frontier); i++ {
+		for j := i + 1; j < len(frontier); j++ {
+			cand, ok := frontier[i].PrefixJoin(frontier[j])
+			if !ok {
+				// Sorted order: once the prefix diverges, no later j joins.
+				break
+			}
+			// Annotation-constraint elimination (the paper's §3.1
+			// modification), applied at generation time.
+			if !cfg.annotationsAllowed(cand.CountAnnotations()) {
+				continue
+			}
+			if prunable(cand, catalog) {
+				continue
+			}
+			cands = append(cands, cand)
+		}
+	}
+	return cands
+}
+
+// prunable reports whether any (k-1)-subset of cand is infrequent. The two
+// subsets formed by dropping the last two positions are the join parents and
+// are frequent by construction.
+func prunable(cand itemset.Itemset, catalog *Catalog) bool {
+	for i := 0; i < len(cand)-2; i++ {
+		if !catalog.Has(cand.WithoutIndex(i)) {
+			return true
+		}
+	}
+	return false
+}
+
+func countCandidates(cands []itemset.Itemset, txns []itemset.Itemset, k int, cfg Config) []int {
+	switch cfg.Strategy {
+	case CountNaive:
+		return countNaive(cands, txns)
+	default:
+		return countHashTree(cands, txns, k, cfg.workers())
+	}
+}
+
+func countNaive(cands []itemset.Itemset, txns []itemset.Itemset) []int {
+	counts := make([]int, len(cands))
+	for _, t := range txns {
+		for i, cand := range cands {
+			if t.ContainsAll(cand) {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}
+
+func countHashTree(cands []itemset.Itemset, txns []itemset.Itemset, k, workers int) []int {
+	tree := newHashTree(cands, k)
+	if workers <= 1 || len(txns) < 4*workers {
+		return tree.count(txns)
+	}
+	// Shard transactions; each worker counts into a private slice.
+	shard := (len(txns) + workers - 1) / workers
+	partials := make([][]int, 0, workers)
+	var wg sync.WaitGroup
+	for start := 0; start < len(txns); start += shard {
+		end := start + shard
+		if end > len(txns) {
+			end = len(txns)
+		}
+		p := make([]int, len(cands))
+		partials = append(partials, p)
+		wg.Add(1)
+		go func(part []itemset.Itemset, counts []int) {
+			defer wg.Done()
+			tree.countInto(part, counts)
+		}(txns[start:end], p)
+	}
+	wg.Wait()
+	counts := make([]int, len(cands))
+	for _, p := range partials {
+		for i, n := range p {
+			counts[i] += n
+		}
+	}
+	return counts
+}
+
+// MinCountFor converts a fractional minimum support over n transactions to
+// the absolute threshold used by Mine: the smallest count c with c/n ≥ sup.
+// A tiny epsilon guards ratios like 0.4×5 that binary floating point would
+// otherwise round up to 3.
+func MinCountFor(sup float64, n int) int {
+	if n <= 0 {
+		return 1
+	}
+	c := int(ceil(sup * float64(n)))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+func ceil(x float64) float64 {
+	i := float64(int64(x))
+	if x <= i+1e-9 {
+		return i
+	}
+	return i + 1
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes the whole registry at smoke scale.
+// Every experiment must complete, render a non-empty table, and — where it
+// asserts equivalence — report identical output.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	p := Quick()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r, err := e.Run(p)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(r.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			var buf bytes.Buffer
+			r.ID, r.Title, r.Anchor = e.ID, e.Title, e.Anchor
+			if err := Render(&buf, r); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.ID) {
+				t.Errorf("render missing ID: %q", out)
+			}
+			// Equivalence experiments must report identical=true in every row.
+			if hasColumn(r.Header, "identical") {
+				idx := columnIndex(r.Header, "identical")
+				for _, row := range r.Rows {
+					if row[idx] != "true" {
+						t.Errorf("%s row %v reports non-identical output", e.ID, row)
+					}
+				}
+			}
+		})
+	}
+}
+
+func hasColumn(header []string, name string) bool { return columnIndex(header, name) >= 0 }
+
+func columnIndex(header []string, name string) int {
+	for i, h := range header {
+		if h == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestRunOne(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunOne(&buf, "e2", Quick()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E2") {
+		t.Errorf("output = %q", buf.String())
+	}
+	if err := RunOne(&buf, "E99", Quick()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestE7RecoversWithheldAnnotations(t *testing.T) {
+	r, err := runE7(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recall column must be positive for at least one withholding level:
+	// the planted rules are strong enough to recover their own RHS.
+	recallIdx := columnIndex(r.Header, "recall")
+	if recallIdx < 0 {
+		t.Fatal("no recall column")
+	}
+	positive := false
+	for _, row := range r.Rows {
+		if row[recallIdx] > "0.0" && row[recallIdx] != "0.000" {
+			positive = true
+		}
+	}
+	if !positive {
+		t.Errorf("no withholding level recovered anything: %v", r.Rows)
+	}
+}
+
+func TestE8RevealsConceptRules(t *testing.T) {
+	r, err := runE8(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	raw, concept := r.Rows[0][1], r.Rows[1][1]
+	if raw != "0" {
+		t.Errorf("raw variants produced %s rules, want 0 (each variant below threshold)", raw)
+	}
+	if concept == "0" {
+		t.Errorf("concept label produced no rules; generalization failed to reveal")
+	}
+}
+
+func TestFullParamsShape(t *testing.T) {
+	p := Full()
+	if p.BaseTuples != 8000 {
+		t.Errorf("BaseTuples = %d, want the paper's 8000", p.BaseTuples)
+	}
+	if p.MinSupport != 0.4 || p.MinConf != 0.8 {
+		t.Errorf("thresholds = %v/%v, want the paper's 0.4/0.8", p.MinSupport, p.MinConf)
+	}
+}

@@ -1,0 +1,58 @@
+package relation
+
+import "annotadb/internal/itemset"
+
+// MustTuple interns the given tokens and builds a tuple. It panics on intern
+// failure and exists for tests and examples where the tokens are literals.
+func MustTuple(dict *Dictionary, data []string, annots []string) Tuple {
+	items := make([]itemset.Item, 0, len(data)+len(annots))
+	for _, tok := range data {
+		it, err := dict.InternData(tok)
+		if err != nil {
+			panic(err)
+		}
+		items = append(items, it)
+	}
+	for _, tok := range annots {
+		it, err := dict.InternAnnotation(tok)
+		if err != nil {
+			panic(err)
+		}
+		items = append(items, it)
+	}
+	return NewTuple(items...)
+}
+
+// MustAnnotation interns token as a raw annotation, panicking on failure.
+func MustAnnotation(dict *Dictionary, token string) itemset.Item {
+	it, err := dict.InternAnnotation(token)
+	if err != nil {
+		panic(err)
+	}
+	return it
+}
+
+// MustData interns token as a data value, panicking on failure.
+func MustData(dict *Dictionary, token string) itemset.Item {
+	it, err := dict.InternData(token)
+	if err != nil {
+		panic(err)
+	}
+	return it
+}
+
+// FromTokens builds a relation from token matrices: row i carries data
+// values data[i] and annotations annots[i] (annots may be shorter than data;
+// missing rows mean "no annotations"). It is the quickest way to set up
+// fixtures in tests and examples.
+func FromTokens(data [][]string, annots [][]string) *Relation {
+	r := New()
+	for i := range data {
+		var a []string
+		if i < len(annots) {
+			a = annots[i]
+		}
+		r.Append(MustTuple(r.Dictionary(), data[i], a))
+	}
+	return r
+}

@@ -1,0 +1,517 @@
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"annotadb/internal/itemset"
+)
+
+// Tuple is one row of an annotated relation (Def. 4.1): a set of data values
+// plus a variable-size set of attached annotations. Both parts are canonical
+// itemsets. The paper's Figure 4 dataset stores values as IDs because "the
+// association rules would be the same regardless" of the true values; the
+// dictionary preserves the external spelling.
+type Tuple struct {
+	Data   itemset.Itemset // data-value items, sorted
+	Annots itemset.Itemset // annotation items (raw + derived), sorted
+}
+
+// NewTuple canonicalizes and partitions items into a tuple. Items carry
+// their own kind tags, so a single mixed slice is sufficient.
+func NewTuple(items ...itemset.Item) Tuple {
+	all := itemset.New(items...)
+	data, annots := all.Split()
+	return Tuple{Data: data.Clone(), Annots: annots.Clone()}
+}
+
+// Items returns the merged itemset of data values and annotations.
+// Data values sort before annotations, so the merge is a concatenation.
+func (t Tuple) Items() itemset.Itemset {
+	if len(t.Annots) == 0 {
+		return t.Data
+	}
+	if len(t.Data) == 0 {
+		return t.Annots
+	}
+	out := make(itemset.Itemset, 0, len(t.Data)+len(t.Annots))
+	out = append(out, t.Data...)
+	out = append(out, t.Annots...)
+	return out
+}
+
+// HasAnnotation reports whether annotation a is attached to the tuple.
+func (t Tuple) HasAnnotation(a itemset.Item) bool { return t.Annots.Contains(a) }
+
+// Contains reports whether every item of pattern appears in the tuple.
+func (t Tuple) Contains(pattern itemset.Itemset) bool {
+	data, annots := pattern.Split()
+	return t.Data.ContainsAll(data) && t.Annots.ContainsAll(annots)
+}
+
+// Clone returns an independent deep copy.
+func (t Tuple) Clone() Tuple {
+	return Tuple{Data: t.Data.Clone(), Annots: t.Annots.Clone()}
+}
+
+// Annotated reports whether the tuple carries at least one annotation.
+func (t Tuple) Annotated() bool { return len(t.Annots) > 0 }
+
+// ErrTupleIndex reports an out-of-range tuple index in an update batch.
+var ErrTupleIndex = errors.New("relation: tuple index out of range")
+
+// ErrDuplicateAnnotation reports an attempt to attach an annotation a tuple
+// already carries. The paper notes "a data tuple can have a given label at
+// most once"; the same invariant is enforced for raw annotations.
+var ErrDuplicateAnnotation = errors.New("relation: annotation already present on tuple")
+
+// ErrAnnotationNotPresent reports an attempt to detach an annotation the
+// tuple does not carry.
+var ErrAnnotationNotPresent = errors.New("relation: annotation not present on tuple")
+
+// AnnotationUpdate is one line of a Figure 14 update batch: attach
+// Annotation to the tuple at (zero-based) Index.
+type AnnotationUpdate struct {
+	Index      int
+	Annotation itemset.Item
+}
+
+// Relation is an in-memory annotated relation with the auxiliary structures
+// required by the incremental maintenance engine:
+//
+//   - an inverted annotation index: annotation → sorted tuple positions;
+//   - a frequency table counting tuples per annotation (not occurrences —
+//     an annotation appears at most once per tuple);
+//   - a monotonically increasing version number, bumped on every mutation,
+//     that lets downstream caches detect staleness.
+//
+// All methods are safe for concurrent use. Read methods hand out internal
+// slices; callers must treat them as read-only.
+type Relation struct {
+	mu      sync.RWMutex
+	dict    *Dictionary
+	tuples  []Tuple
+	index   map[itemset.Item][]int // annotation → ascending tuple positions
+	freq    map[itemset.Item]int   // annotation → tuple count
+	version uint64
+}
+
+// New creates an empty relation backed by a fresh dictionary.
+func New() *Relation { return NewWithDictionary(NewDictionary()) }
+
+// NewWithDictionary creates an empty relation sharing dict. Sharing lets a
+// workload generator and the relation agree on token encoding.
+func NewWithDictionary(dict *Dictionary) *Relation {
+	if dict == nil {
+		dict = NewDictionary()
+	}
+	return &Relation{
+		dict:  dict,
+		index: make(map[itemset.Item][]int),
+		freq:  make(map[itemset.Item]int),
+	}
+}
+
+// Dictionary returns the token dictionary backing the relation.
+func (r *Relation) Dictionary() *Dictionary { return r.dict }
+
+// Len returns the number of tuples (the |D| denominator of rule support).
+func (r *Relation) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tuples)
+}
+
+// Version returns the mutation counter.
+func (r *Relation) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
+
+// Tuple returns the tuple at position i. The returned value shares backing
+// arrays with the relation and must be treated as read-only.
+func (r *Relation) Tuple(i int) (Tuple, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if i < 0 || i >= len(r.tuples) {
+		return Tuple{}, fmt.Errorf("%w: %d (relation has %d tuples)", ErrTupleIndex, i, len(r.tuples))
+	}
+	return r.tuples[i], nil
+}
+
+// Each calls fn for every tuple position in order while holding a read lock.
+// fn must not mutate the relation, and must not retain the tuple.
+func (r *Relation) Each(fn func(i int, t Tuple) bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for i := range r.tuples {
+		if !fn(i, r.tuples[i]) {
+			return
+		}
+	}
+}
+
+// EachFrom behaves like Each but starts at position start. The incremental
+// engine uses it to visit only newly appended tuples.
+func (r *Relation) EachFrom(start int, fn func(i int, t Tuple) bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < len(r.tuples); i++ {
+		if !fn(i, r.tuples[i]) {
+			return
+		}
+	}
+}
+
+// Append adds tuples to the end of the relation, maintaining the annotation
+// index and frequency table. It returns the position of the first appended
+// tuple.
+func (r *Relation) Append(tuples ...Tuple) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	start := len(r.tuples)
+	for _, t := range tuples {
+		pos := len(r.tuples)
+		r.tuples = append(r.tuples, t)
+		for _, a := range t.Annots {
+			r.index[a] = append(r.index[a], pos)
+			r.freq[a]++
+		}
+	}
+	r.version++
+	return start
+}
+
+// AddAnnotation attaches annotation a to the tuple at position i.
+// Attaching a duplicate returns ErrDuplicateAnnotation and leaves the
+// relation unchanged; an out-of-range index returns ErrTupleIndex.
+func (r *Relation) AddAnnotation(i int, a itemset.Item) error {
+	if !a.IsAnnotation() {
+		return fmt.Errorf("relation: item %v is not an annotation", a)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.tuples) {
+		return fmt.Errorf("%w: %d (relation has %d tuples)", ErrTupleIndex, i, len(r.tuples))
+	}
+	t := &r.tuples[i]
+	if t.Annots.Contains(a) {
+		return fmt.Errorf("%w: %v on tuple %d", ErrDuplicateAnnotation, a, i)
+	}
+	t.Annots = t.Annots.Add(a)
+	positions := r.index[a]
+	at := sort.SearchInts(positions, i)
+	positions = append(positions, 0)
+	copy(positions[at+1:], positions[at:])
+	positions[at] = i
+	r.index[a] = positions
+	r.freq[a]++
+	r.version++
+	return nil
+}
+
+// ApplyUpdates applies a Figure 14 annotation batch. It validates the whole
+// batch against the current relation before mutating anything, so a batch
+// either applies completely or not at all (duplicate-annotation entries are
+// reported through the returned skipped list rather than failing the batch,
+// because real curation batches legitimately re-send annotations).
+//
+// It returns the updates that were actually applied and the ones skipped as
+// duplicates.
+func (r *Relation) ApplyUpdates(batch []AnnotationUpdate) (applied, skipped []AnnotationUpdate, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, u := range batch {
+		if u.Index < 0 || u.Index >= len(r.tuples) {
+			return nil, nil, fmt.Errorf("%w: %d (relation has %d tuples)", ErrTupleIndex, u.Index, len(r.tuples))
+		}
+		if !u.Annotation.IsAnnotation() {
+			return nil, nil, fmt.Errorf("relation: item %v in update batch is not an annotation", u.Annotation)
+		}
+	}
+	// Track within-batch duplicates too: the same (tuple, annotation) pair
+	// twice in one batch must apply only once.
+	type pair struct {
+		i int
+		a itemset.Item
+	}
+	seen := make(map[pair]bool, len(batch))
+	for _, u := range batch {
+		p := pair{u.Index, u.Annotation}
+		t := &r.tuples[u.Index]
+		if seen[p] || t.Annots.Contains(u.Annotation) {
+			skipped = append(skipped, u)
+			continue
+		}
+		seen[p] = true
+		t.Annots = t.Annots.Add(u.Annotation)
+		positions := r.index[u.Annotation]
+		at := sort.SearchInts(positions, u.Index)
+		positions = append(positions, 0)
+		copy(positions[at+1:], positions[at:])
+		positions[at] = u.Index
+		r.index[u.Annotation] = positions
+		r.freq[u.Annotation]++
+		applied = append(applied, u)
+	}
+	if len(applied) > 0 {
+		r.version++
+	}
+	return applied, skipped, nil
+}
+
+// RemoveAnnotation detaches annotation a from the tuple at position i.
+// Removing an absent annotation returns ErrAnnotationNotPresent and leaves
+// the relation unchanged; an out-of-range index returns ErrTupleIndex.
+func (r *Relation) RemoveAnnotation(i int, a itemset.Item) error {
+	if !a.IsAnnotation() {
+		return fmt.Errorf("relation: item %v is not an annotation", a)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.tuples) {
+		return fmt.Errorf("%w: %d (relation has %d tuples)", ErrTupleIndex, i, len(r.tuples))
+	}
+	t := &r.tuples[i]
+	if !t.Annots.Contains(a) {
+		return fmt.Errorf("%w: %v on tuple %d", ErrAnnotationNotPresent, a, i)
+	}
+	t.Annots = t.Annots.Remove(a)
+	r.removeFromIndex(a, i)
+	r.freq[a]--
+	r.version++
+	return nil
+}
+
+func (r *Relation) removeFromIndex(a itemset.Item, pos int) {
+	positions := r.index[a]
+	at := sort.SearchInts(positions, pos)
+	if at < len(positions) && positions[at] == pos {
+		positions = append(positions[:at], positions[at+1:]...)
+		if len(positions) == 0 {
+			delete(r.index, a)
+		} else {
+			r.index[a] = positions
+		}
+	}
+}
+
+// ApplyRemovals detaches a batch of annotations, mirroring ApplyUpdates:
+// the whole batch is validated against the current relation first, entries
+// whose annotation is (no longer) present are skipped rather than failing,
+// and within-batch duplicates apply once.
+func (r *Relation) ApplyRemovals(batch []AnnotationUpdate) (applied, skipped []AnnotationUpdate, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, u := range batch {
+		if u.Index < 0 || u.Index >= len(r.tuples) {
+			return nil, nil, fmt.Errorf("%w: %d (relation has %d tuples)", ErrTupleIndex, u.Index, len(r.tuples))
+		}
+		if !u.Annotation.IsAnnotation() {
+			return nil, nil, fmt.Errorf("relation: item %v in removal batch is not an annotation", u.Annotation)
+		}
+	}
+	for _, u := range batch {
+		t := &r.tuples[u.Index]
+		if !t.Annots.Contains(u.Annotation) {
+			skipped = append(skipped, u)
+			continue
+		}
+		t.Annots = t.Annots.Remove(u.Annotation)
+		r.removeFromIndex(u.Annotation, u.Index)
+		r.freq[u.Annotation]--
+		applied = append(applied, u)
+	}
+	if len(applied) > 0 {
+		r.version++
+	}
+	return applied, skipped, nil
+}
+
+// TuplesWith returns the ascending positions of tuples carrying annotation a.
+// This is the paper's annotation inverted index; the returned slice is shared
+// and must not be mutated.
+func (r *Relation) TuplesWith(a itemset.Item) []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.index[a]
+}
+
+// Frequency returns the number of tuples carrying annotation a — the paper's
+// annotation frequency table.
+func (r *Relation) Frequency(a itemset.Item) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.freq[a]
+}
+
+// FrequencyTable returns a copy of the whole annotation frequency table.
+func (r *Relation) FrequencyTable() map[itemset.Item]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[itemset.Item]int, len(r.freq))
+	for a, n := range r.freq {
+		out[a] = n
+	}
+	return out
+}
+
+// Annotations returns every annotation item that appears on at least one
+// tuple, sorted.
+func (r *Relation) Annotations() itemset.Itemset {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]itemset.Item, 0, len(r.freq))
+	for a, n := range r.freq {
+		if n > 0 {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return itemset.FromSorted(out)
+}
+
+// CountPattern scans positions (or the whole relation when positions is nil)
+// and counts tuples containing the pattern. The incremental engine uses the
+// positions form with the annotation index to realize the paper's "check all
+// data tuples in the database having this annotation" step without a full
+// scan.
+func (r *Relation) CountPattern(pattern itemset.Itemset, positions []int) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	if positions == nil {
+		for i := range r.tuples {
+			if r.tuples[i].Contains(pattern) {
+				n++
+			}
+		}
+		return n
+	}
+	for _, i := range positions {
+		if i >= 0 && i < len(r.tuples) && r.tuples[i].Contains(pattern) {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the relation sharing no mutable state with the
+// original. The dictionary is shared: token→item mappings are append-only,
+// so sharing is safe and keeps clones comparable.
+func (r *Relation) Clone() *Relation {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c := NewWithDictionary(r.dict)
+	c.tuples = make([]Tuple, len(r.tuples))
+	for i, t := range r.tuples {
+		c.tuples[i] = t.Clone()
+	}
+	for a, positions := range r.index {
+		c.index[a] = append([]int(nil), positions...)
+	}
+	for a, n := range r.freq {
+		c.freq[a] = n
+	}
+	c.version = r.version
+	return c
+}
+
+// Stats summarizes the relation for reports and examples.
+type Stats struct {
+	Tuples            int
+	AnnotatedTuples   int
+	Annotations       int // total attachments (tuple, annotation) pairs
+	DistinctAnnots    int
+	DistinctData      int
+	MaxAnnotsPerTuple int
+}
+
+// Stats computes summary statistics in one pass.
+func (r *Relation) Stats() Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var s Stats
+	s.Tuples = len(r.tuples)
+	dataSeen := make(map[itemset.Item]struct{})
+	for i := range r.tuples {
+		t := &r.tuples[i]
+		if len(t.Annots) > 0 {
+			s.AnnotatedTuples++
+		}
+		s.Annotations += len(t.Annots)
+		if len(t.Annots) > s.MaxAnnotsPerTuple {
+			s.MaxAnnotsPerTuple = len(t.Annots)
+		}
+		for _, d := range t.Data {
+			dataSeen[d] = struct{}{}
+		}
+	}
+	for a, n := range r.freq {
+		_ = a
+		if n > 0 {
+			s.DistinctAnnots++
+		}
+	}
+	s.DistinctData = len(dataSeen)
+	return s
+}
+
+// CheckInvariants verifies the internal consistency of the index and
+// frequency table against the tuples. It is called from tests and from the
+// incremental engine's verification mode, never on hot paths.
+func (r *Relation) CheckInvariants() error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rebuiltFreq := make(map[itemset.Item]int)
+	rebuiltIdx := make(map[itemset.Item][]int)
+	for i := range r.tuples {
+		t := &r.tuples[i]
+		if !t.Data.Wellformed() || !t.Annots.Wellformed() {
+			return fmt.Errorf("relation: tuple %d not canonical", i)
+		}
+		if t.Data.HasAnnotation() {
+			return fmt.Errorf("relation: tuple %d has annotation in data part", i)
+		}
+		if !t.Annots.PureAnnotations() {
+			return fmt.Errorf("relation: tuple %d has data value in annotation part", i)
+		}
+		for _, a := range t.Annots {
+			rebuiltFreq[a]++
+			rebuiltIdx[a] = append(rebuiltIdx[a], i)
+		}
+	}
+	for a, n := range r.freq {
+		if n != rebuiltFreq[a] {
+			return fmt.Errorf("relation: frequency table says %d tuples for %v, actual %d", n, a, rebuiltFreq[a])
+		}
+	}
+	for a, n := range rebuiltFreq {
+		if r.freq[a] != n {
+			return fmt.Errorf("relation: frequency table missing %v (actual %d)", a, n)
+		}
+	}
+	for a, positions := range r.index {
+		want := rebuiltIdx[a]
+		if len(positions) != len(want) {
+			return fmt.Errorf("relation: index for %v has %d entries, want %d", a, len(positions), len(want))
+		}
+		for i := range positions {
+			if positions[i] != want[i] {
+				return fmt.Errorf("relation: index for %v diverges at entry %d: %d != %d", a, i, positions[i], want[i])
+			}
+		}
+	}
+	for a, want := range rebuiltIdx {
+		if _, ok := r.index[a]; !ok && len(want) > 0 {
+			return fmt.Errorf("relation: index missing annotation %v", a)
+		}
+	}
+	return nil
+}

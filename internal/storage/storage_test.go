@@ -1,0 +1,332 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"annotadb/internal/relation"
+)
+
+const sampleDataset = `# Figure 4-style dataset
+28 85 99 Annot_4 Annot_5
+28 85 12 Annot_1
+
+41 85 Annot_4
+28 41
+62 Annot_1 Annot_4
+`
+
+func TestReadDataset(t *testing.T) {
+	rel, err := ReadDataset(strings.NewReader(sampleDataset), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 5 {
+		t.Fatalf("Len = %d, want 5 (comments/blanks ignored)", rel.Len())
+	}
+	st := rel.Stats()
+	if st.AnnotatedTuples != 4 {
+		t.Errorf("AnnotatedTuples = %d, want 4", st.AnnotatedTuples)
+	}
+	if st.DistinctAnnots != 3 {
+		t.Errorf("DistinctAnnots = %d, want 3", st.DistinctAnnots)
+	}
+	a4, ok := rel.Dictionary().Lookup("Annot_4")
+	if !ok {
+		t.Fatal("Annot_4 not interned")
+	}
+	if !a4.IsAnnotation() {
+		t.Error("Annot_4 interned as data value")
+	}
+	if got := rel.Frequency(a4); got != 3 {
+		t.Errorf("Frequency(Annot_4) = %d, want 3", got)
+	}
+	v28, ok := rel.Dictionary().Lookup("28")
+	if !ok || !v28.IsData() {
+		t.Error("28 not interned as data value")
+	}
+	if err := rel.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadDatasetCustomPrefix(t *testing.T) {
+	in := "x y TAG:flag\nz TAG:other\n"
+	rel, err := ReadDataset(strings.NewReader(in), Options{AnnotationPrefix: "TAG:"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, ok := rel.Dictionary().Lookup("TAG:flag")
+	if !ok || !it.IsAnnotation() {
+		t.Error("custom-prefix annotation not classified")
+	}
+	it, ok = rel.Dictionary().Lookup("x")
+	if !ok || !it.IsData() {
+		t.Error("data token misclassified under custom prefix")
+	}
+}
+
+func TestReadDatasetRejectsAnnotationOnlyLines(t *testing.T) {
+	in := "Annot_1 Annot_2\n"
+	_, err := ReadDataset(strings.NewReader(in), Options{})
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want ParseError", err)
+	}
+	if pe.Line != 1 {
+		t.Errorf("ParseError line = %d, want 1", pe.Line)
+	}
+	// Allowed when opted in.
+	rel, err := ReadDataset(strings.NewReader(in), Options{AllowEmptyTuples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 {
+		t.Errorf("Len = %d, want 1", rel.Len())
+	}
+}
+
+func TestWriteDatasetRoundTrip(t *testing.T) {
+	rel, err := ReadDataset(strings.NewReader(sampleDataset), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, rel, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDataset(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatalf("re-read: %v (output was:\n%s)", err, buf.String())
+	}
+	if back.Len() != rel.Len() {
+		t.Fatalf("round trip Len = %d, want %d", back.Len(), rel.Len())
+	}
+	// Compare tuples token-by-token since dictionaries differ.
+	for i := 0; i < rel.Len(); i++ {
+		t1, _ := rel.Tuple(i)
+		t2, _ := back.Tuple(i)
+		d1 := rel.Dictionary().Tokens(t1.Items())
+		d2 := back.Dictionary().Tokens(t2.Items())
+		if strings.Join(d1, " ") != strings.Join(d2, " ") {
+			t.Errorf("tuple %d round trip: %v != %v", i, d1, d2)
+		}
+	}
+}
+
+func TestWriteDatasetRefusesUnprefixedAnnotations(t *testing.T) {
+	rel := relation.New()
+	rel.Append(relation.MustTuple(rel.Dictionary(), []string{"1"}, []string{"flag"}))
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, rel, Options{}); err == nil {
+		t.Error("WriteDataset with unprefixed annotation succeeded; file would not round-trip")
+	}
+}
+
+func TestWriteDatasetFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.txt")
+	rel, err := ReadDataset(strings.NewReader(sampleDataset), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDatasetFile(path, rel, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDatasetFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rel.Len() {
+		t.Errorf("Len = %d, want %d", back.Len(), rel.Len())
+	}
+	// Overwrite with more tuples; no temp files may linger.
+	rel.Append(relation.MustTuple(rel.Dictionary(), []string{"77"}, nil))
+	if err := WriteDatasetFile(path, rel, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries after atomic write, want 1", len(entries))
+	}
+}
+
+func TestReadDatasetFileMissing(t *testing.T) {
+	if _, err := ReadDatasetFile(filepath.Join(t.TempDir(), "nope.txt"), Options{}); err == nil {
+		t.Error("reading missing file succeeded")
+	}
+}
+
+func TestAppendDataset(t *testing.T) {
+	rel, err := ReadDataset(strings.NewReader("1 2 Annot_1\n"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Case 1 of the paper: append annotated tuples from a second file.
+	extra := "2 3 Annot_1 Annot_2\n4 Annot_2\n"
+	if err := AppendDataset(rel, strings.NewReader(extra), Options{}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", rel.Len())
+	}
+	a2, ok := rel.Dictionary().Lookup("Annot_2")
+	if !ok {
+		t.Fatal("Annot_2 not interned")
+	}
+	if got := rel.Frequency(a2); got != 2 {
+		t.Errorf("Frequency(Annot_2) = %d, want 2", got)
+	}
+	// Token "2" appears in both files and must resolve to one item.
+	if rel.Dictionary().CountOf(relation.KindData) != 4 {
+		t.Errorf("data tokens = %d, want 4 (1,2,3,4)", rel.Dictionary().CountOf(relation.KindData))
+	}
+	if err := rel.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadUpdateBatch(t *testing.T) {
+	in := `# δ batch, Figure 14
+150:Annot_3
+  3 : Annot_1
+
+12:Annot_3
+`
+	lines, err := ReadUpdateBatch(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []UpdateLine{{149, "Annot_3"}, {2, "Annot_1"}, {11, "Annot_3"}}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(want))
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %+v, want %+v", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestReadUpdateBatchErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"missing colon", "150 Annot_3\n"},
+		{"bad index", "abc:Annot_3\n"},
+		{"zero index", "0:Annot_3\n"},
+		{"negative index", "-4:Annot_3\n"},
+		{"missing token", "150:\n"},
+		{"unprefixed token", "150:flag\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadUpdateBatch(strings.NewReader(tc.in), Options{})
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Errorf("err = %v, want ParseError", err)
+			}
+		})
+	}
+}
+
+func TestWriteUpdateBatchRoundTrip(t *testing.T) {
+	lines := []UpdateLine{{149, "Annot_3"}, {0, "Annot_1"}}
+	var buf bytes.Buffer
+	if err := WriteUpdateBatch(&buf, lines); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "150:Annot_3\n1:Annot_1\n"; got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+	back, err := ReadUpdateBatch(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lines {
+		if back[i] != lines[i] {
+			t.Errorf("round trip line %d = %+v, want %+v", i, back[i], lines[i])
+		}
+	}
+}
+
+func TestResolveUpdates(t *testing.T) {
+	rel, err := ReadDataset(strings.NewReader(sampleDataset), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, err := ResolveUpdates(rel, []UpdateLine{
+		{Index: 3, Token: "Annot_1"}, // existing annotation token
+		{Index: 0, Token: "Annot_9"}, // brand new annotation token
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != 2 {
+		t.Fatalf("resolved %d, want 2", len(updates))
+	}
+	a1, _ := rel.Dictionary().Lookup("Annot_1")
+	if updates[0].Annotation != a1 {
+		t.Error("existing token resolved to new item")
+	}
+	if !updates[1].Annotation.IsAnnotation() {
+		t.Error("new token not an annotation item")
+	}
+	applied, skipped, err := rel.ApplyUpdates(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 2 || len(skipped) != 0 {
+		t.Errorf("applied=%d skipped=%d", len(applied), len(skipped))
+	}
+}
+
+func TestResolveUpdatesKindConflict(t *testing.T) {
+	rel, err := ReadDataset(strings.NewReader("Annot like token as data: none\n28 85\n"), Options{AllowEmptyTuples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "28" is interned as data; an update trying to use it as an annotation
+	// token must fail (after prefix check is bypassed via custom options).
+	_, err = ResolveUpdates(rel, []UpdateLine{{Index: 0, Token: "28"}})
+	if err == nil {
+		t.Error("resolving data token as annotation succeeded")
+	}
+}
+
+func TestParseErrorFormat(t *testing.T) {
+	e := &ParseError{Path: "f.txt", Line: 7, Msg: "boom"}
+	if got := e.Error(); !strings.Contains(got, "f.txt:7") {
+		t.Errorf("Error() = %q, want path:line", got)
+	}
+	e2 := &ParseError{Line: 3, Msg: "boom"}
+	if got := e2.Error(); !strings.Contains(got, "line 3") {
+		t.Errorf("Error() = %q, want line number", got)
+	}
+}
+
+func TestReadDatasetHugeLineRejected(t *testing.T) {
+	long := strings.Repeat("1 ", 4096)
+	_, err := ReadDataset(strings.NewReader(long+"\n"), Options{MaxLineBytes: 1024})
+	if err == nil {
+		t.Error("oversized line accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.prefix() != DefaultAnnotationPrefix {
+		t.Errorf("default prefix = %q", o.prefix())
+	}
+	if o.maxLine() != 1<<20 {
+		t.Errorf("default maxLine = %d", o.maxLine())
+	}
+}

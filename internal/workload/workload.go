@@ -1,0 +1,364 @@
+// Package workload synthesizes annotated datasets in the shape of the
+// paper's evaluation data (Figure 4: ID-valued tuples with Annot_k tokens,
+// ≈8000 entries), with correlations planted at controllable support and
+// confidence. The paper notes that "knowledge of the true values was never
+// necessary because the association rules would be the same regardless" —
+// only the co-occurrence structure matters, which the generator controls
+// exactly, making it a faithful substitute for the original (unpublished)
+// dataset file.
+//
+// All generation is deterministic in the spec's Seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"annotadb/internal/itemset"
+	"annotadb/internal/relation"
+)
+
+// PlantedRule describes a correlation to embed. On each generated tuple the
+// LHS appears with probability Support/Confidence; when it does, the RHS
+// annotation is attached with probability Confidence. The expected measured
+// support of LHS∪{RHS} is then Support and the expected confidence is
+// Confidence.
+type PlantedRule struct {
+	// LHSData are data-value tokens (a Def. 4.2 rule when non-empty).
+	LHSData []string
+	// LHSAnnots are annotation tokens (a Def. 4.3 rule when non-empty).
+	LHSAnnots []string
+	// RHS is the implied annotation token.
+	RHS string
+	// Support and Confidence are the target rule statistics.
+	Support    float64
+	Confidence float64
+}
+
+// Validate rejects unusable planted rules.
+func (p PlantedRule) Validate() error {
+	if len(p.LHSData) == 0 && len(p.LHSAnnots) == 0 {
+		return fmt.Errorf("workload: planted rule has empty LHS")
+	}
+	if p.RHS == "" {
+		return fmt.Errorf("workload: planted rule has empty RHS")
+	}
+	if p.Confidence <= 0 || p.Confidence > 1 {
+		return fmt.Errorf("workload: planted confidence %v out of (0,1]", p.Confidence)
+	}
+	if p.Support <= 0 || p.Support > p.Confidence {
+		return fmt.Errorf("workload: planted support %v out of (0, confidence=%v]", p.Support, p.Confidence)
+	}
+	return nil
+}
+
+// Spec configures a synthetic dataset.
+type Spec struct {
+	// Tuples is the relation size (the paper's evaluation used ≈8000).
+	Tuples int
+	// DataDomain is the number of distinct noise data-value tokens.
+	DataDomain int
+	// ValuesPerTuple is the number of noise data values drawn per tuple.
+	ValuesPerTuple int
+	// Annotations is the number of distinct noise annotation tokens
+	// (Annot_1 … Annot_K).
+	Annotations int
+	// AnnotationRate is the probability that each noise annotation is
+	// attached to a tuple.
+	AnnotationRate float64
+	// ZipfS skews the noise data-value distribution (values > 1 skew;
+	// anything ≤ 1 means uniform).
+	ZipfS float64
+	// Planted lists the correlations to embed.
+	Planted []PlantedRule
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Validate rejects unusable specs.
+func (s Spec) Validate() error {
+	if s.Tuples < 0 {
+		return fmt.Errorf("workload: negative tuple count %d", s.Tuples)
+	}
+	if s.DataDomain < 1 {
+		return fmt.Errorf("workload: data domain %d < 1", s.DataDomain)
+	}
+	if s.ValuesPerTuple < 0 {
+		return fmt.Errorf("workload: negative values per tuple")
+	}
+	if s.AnnotationRate < 0 || s.AnnotationRate > 1 {
+		return fmt.Errorf("workload: annotation rate %v out of [0,1]", s.AnnotationRate)
+	}
+	for _, p := range s.Planted {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Default8K mirrors the paper's evaluation scale: roughly 8000 tuples, a
+// modest annotation vocabulary, and a handful of strong planted rules that
+// clear the paper's conservative thresholds (support 0.4, confidence 0.8).
+func Default8K(seed int64) Spec {
+	return Spec{
+		Tuples:         8000,
+		DataDomain:     60,
+		ValuesPerTuple: 6,
+		Annotations:    12,
+		AnnotationRate: 0.08,
+		ZipfS:          1.2,
+		Seed:           seed,
+		Planted: []PlantedRule{
+			{LHSData: []string{"28", "85"}, RHS: "Annot_1", Support: 0.45, Confidence: 0.92},
+			{LHSData: []string{"41"}, RHS: "Annot_4", Support: 0.42, Confidence: 0.85},
+			{LHSAnnots: []string{"Annot_1"}, RHS: "Annot_5", Support: 0.41, Confidence: 0.88},
+			{LHSData: []string{"12", "62"}, RHS: "Annot_2", Support: 0.30, Confidence: 0.75}, // near-miss pool
+		},
+	}
+}
+
+// Generator produces relations, tuple batches, and annotation batches from
+// one spec with one deterministic random stream.
+type Generator struct {
+	spec Spec
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewGenerator validates the spec and prepares the random stream.
+func NewGenerator(spec Spec) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{spec: spec, rng: rand.New(rand.NewSource(spec.Seed))}
+	if spec.ZipfS > 1 && spec.DataDomain > 1 {
+		g.zipf = rand.NewZipf(g.rng, spec.ZipfS, 1, uint64(spec.DataDomain-1))
+	}
+	return g, nil
+}
+
+// Generate builds the full relation described by the spec.
+func (g *Generator) Generate() (*relation.Relation, error) {
+	rel := relation.New()
+	tuples, _, err := g.tuples(rel.Dictionary(), g.spec.Tuples, 0, true)
+	if err != nil {
+		return nil, err
+	}
+	rel.Append(tuples...)
+	return rel, nil
+}
+
+// GenerateWithWithholding builds the relation but withholds each planted
+// RHS attachment with probability withhold, recording the withheld ground
+// truth per tuple position. This is the E7 (exploitation quality) workload.
+func (g *Generator) GenerateWithWithholding(withhold float64) (*relation.Relation, map[int]itemset.Itemset, error) {
+	if withhold < 0 || withhold > 1 {
+		return nil, nil, fmt.Errorf("workload: withhold fraction %v out of [0,1]", withhold)
+	}
+	rel := relation.New()
+	tuples, truth, err := g.tuples(rel.Dictionary(), g.spec.Tuples, withhold, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	rel.Append(tuples...)
+	return rel, truth, nil
+}
+
+// AnnotatedTuples samples a Case 1 batch from the same distribution.
+func (g *Generator) AnnotatedTuples(dict *relation.Dictionary, n int) ([]relation.Tuple, error) {
+	tuples, _, err := g.tuples(dict, n, 0, true)
+	return tuples, err
+}
+
+// UnannotatedTuples samples a Case 2 batch: same data distribution, no
+// annotations.
+func (g *Generator) UnannotatedTuples(dict *relation.Dictionary, n int) ([]relation.Tuple, error) {
+	tuples, _, err := g.tuples(dict, n, 0, false)
+	return tuples, err
+}
+
+// tuples samples n tuples. withhold removes planted RHS attachments into
+// the truth map (keyed by position offset within this batch). annotated
+// false suppresses all annotations.
+func (g *Generator) tuples(dict *relation.Dictionary, n int, withhold float64, annotated bool) ([]relation.Tuple, map[int]itemset.Itemset, error) {
+	out := make([]relation.Tuple, 0, n)
+	truth := make(map[int]itemset.Itemset)
+	for i := 0; i < n; i++ {
+		var items []itemset.Item
+		// Planted correlations first.
+		if annotated {
+			for _, p := range g.spec.Planted {
+				pLHS := p.Support / p.Confidence
+				if g.rng.Float64() >= pLHS {
+					continue
+				}
+				for _, tok := range p.LHSData {
+					it, err := dict.InternData(tok)
+					if err != nil {
+						return nil, nil, err
+					}
+					items = append(items, it)
+				}
+				for _, tok := range p.LHSAnnots {
+					it, err := dict.InternAnnotation(tok)
+					if err != nil {
+						return nil, nil, err
+					}
+					items = append(items, it)
+				}
+				if g.rng.Float64() < p.Confidence {
+					it, err := dict.InternAnnotation(p.RHS)
+					if err != nil {
+						return nil, nil, err
+					}
+					if withhold > 0 && g.rng.Float64() < withhold {
+						truth[i] = truth[i].Add(it)
+					} else {
+						items = append(items, it)
+					}
+				}
+			}
+		} else {
+			// Case 2 batches still carry the planted LHS data values so
+			// they dilute rule confidence, as the paper describes.
+			for _, p := range g.spec.Planted {
+				if len(p.LHSData) == 0 {
+					continue
+				}
+				if g.rng.Float64() >= p.Support/p.Confidence {
+					continue
+				}
+				for _, tok := range p.LHSData {
+					it, err := dict.InternData(tok)
+					if err != nil {
+						return nil, nil, err
+					}
+					items = append(items, it)
+				}
+			}
+		}
+		// Noise data values.
+		for v := 0; v < g.spec.ValuesPerTuple; v++ {
+			it, err := dict.InternData(g.noiseValue())
+			if err != nil {
+				return nil, nil, err
+			}
+			items = append(items, it)
+		}
+		// Noise annotations.
+		if annotated {
+			for a := 1; a <= g.spec.Annotations; a++ {
+				if g.rng.Float64() < g.spec.AnnotationRate {
+					it, err := dict.InternAnnotation("Annot_" + strconv.Itoa(a))
+					if err != nil {
+						return nil, nil, err
+					}
+					items = append(items, it)
+				}
+			}
+		}
+		tu := relation.NewTuple(items...)
+		// An annotation withheld from one planted rule can still arrive via
+		// noise or another rule's LHS; it is then not missing after all.
+		if want, ok := truth[i]; ok {
+			want = want.Subtract(tu.Annots)
+			if want.Empty() {
+				delete(truth, i)
+			} else {
+				truth[i] = want
+			}
+		}
+		out = append(out, tu)
+	}
+	return out, truth, nil
+}
+
+// noiseValue draws a noise data token. Tokens are numeric IDs offset away
+// from the planted tokens' range (which are small numbers like "28").
+func (g *Generator) noiseValue() string {
+	var v uint64
+	if g.zipf != nil {
+		v = g.zipf.Uint64()
+	} else {
+		v = uint64(g.rng.Intn(g.spec.DataDomain))
+	}
+	return strconv.FormatUint(1000+v, 10)
+}
+
+// AnnotationBatch samples a Case 3 δ batch of m annotation additions over
+// the current relation. A reinforce fraction of the updates target planted
+// rules (attaching the planted RHS to tuples already containing the LHS but
+// missing the RHS), which is what drives promotions; the rest attach random
+// annotations to random tuples.
+func (g *Generator) AnnotationBatch(rel *relation.Relation, m int, reinforce float64) ([]relation.AnnotationUpdate, error) {
+	if reinforce < 0 || reinforce > 1 {
+		return nil, fmt.Errorf("workload: reinforce fraction %v out of [0,1]", reinforce)
+	}
+	if rel.Len() == 0 || m <= 0 {
+		return nil, nil
+	}
+	dict := rel.Dictionary()
+	var batch []relation.AnnotationUpdate
+	// Pre-resolve planted LHS/RHS items that exist in this dictionary.
+	type planted struct {
+		lhs itemset.Itemset
+		rhs itemset.Item
+	}
+	var ps []planted
+	for _, p := range g.spec.Planted {
+		var lhs []itemset.Item
+		ok := true
+		for _, tok := range append(append([]string{}, p.LHSData...), p.LHSAnnots...) {
+			it, found := dict.Lookup(tok)
+			if !found {
+				ok = false
+				break
+			}
+			lhs = append(lhs, it)
+		}
+		rhs, found := dict.Lookup(p.RHS)
+		if !ok || !found || !rhs.IsAnnotation() {
+			continue
+		}
+		ps = append(ps, planted{lhs: itemset.New(lhs...), rhs: rhs})
+	}
+	for len(batch) < m {
+		if len(ps) > 0 && g.rng.Float64() < reinforce {
+			p := ps[g.rng.Intn(len(ps))]
+			// Rejection-sample a tuple containing the LHS without the RHS.
+			placed := false
+			for try := 0; try < 20; try++ {
+				idx := g.rng.Intn(rel.Len())
+				tu, err := rel.Tuple(idx)
+				if err != nil {
+					return nil, err
+				}
+				if tu.Contains(p.lhs) && !tu.Annots.Contains(p.rhs) {
+					batch = append(batch, relation.AnnotationUpdate{Index: idx, Annotation: p.rhs})
+					placed = true
+					break
+				}
+			}
+			if placed {
+				continue
+			}
+		}
+		// Random attachment.
+		a := 1 + g.rng.Intn(maxInt(1, g.spec.Annotations))
+		it, err := dict.InternAnnotation("Annot_" + strconv.Itoa(a))
+		if err != nil {
+			return nil, err
+		}
+		batch = append(batch, relation.AnnotationUpdate{Index: g.rng.Intn(rel.Len()), Annotation: it})
+	}
+	return batch, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,71 @@
+package annotadb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEngineRemoveAnnotations(t *testing.T) {
+	ds := sampleDS(t)
+	eng, err := NewEngine(ds, Options{MinSupport: 0.4, MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.RemoveAnnotations([]AnnotationUpdate{
+		{Tuple: 0, Annotation: "Annot_1"},
+		{Tuple: 5, Annotation: "Annot_1"}, // tuple 5 has no annotations → skipped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Operation, "case4") {
+		t.Errorf("operation = %q", rep.Operation)
+	}
+	if rep.Applied != 1 || rep.Skipped != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.AnnotationFrequency("Annot_1"); got != 4 {
+		t.Errorf("frequency = %d, want 4", got)
+	}
+	// Unknown token and data-value token are rejected.
+	if _, err := eng.RemoveAnnotations([]AnnotationUpdate{{Tuple: 0, Annotation: "Annot_nope"}}); err == nil {
+		t.Error("unknown annotation accepted")
+	}
+	if _, err := eng.RemoveAnnotations([]AnnotationUpdate{{Tuple: 0, Annotation: "28"}}); err == nil {
+		t.Error("data token accepted as annotation")
+	}
+}
+
+func TestEngineAddRemoveRoundTrip(t *testing.T) {
+	ds := sampleDS(t)
+	eng, err := NewEngine(ds, Options{MinSupport: 0.3, MinConfidence: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Rules()
+	batch := []AnnotationUpdate{
+		{Tuple: 5, Annotation: "Annot_1"},
+		{Tuple: 7, Annotation: "Annot_5"},
+	}
+	if _, err := eng.AddAnnotations(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RemoveAnnotations(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.Rules()
+	if len(before) != len(after) {
+		t.Fatalf("rule count changed: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i].String() != after[i].String() {
+			t.Errorf("rule %d changed: %v -> %v", i, before[i], after[i])
+		}
+	}
+}
