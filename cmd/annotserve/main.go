@@ -1,0 +1,404 @@
+// Command annotserve serves a mined, incrementally maintained rule set over
+// HTTP/JSON: the paper's discover–maintain–exploit loop as an online system
+// instead of a batch menu. Rules and recommendations are answered from an
+// immutable snapshot that is republished after every coalesced update
+// batch, so reads stay fast and consistent while annotation batches stream
+// in.
+//
+// Usage:
+//
+//	annotserve -data dataset.txt [-addr :8080] [-min-support 0.4]
+//	           [-min-confidence 0.8] [-algorithm apriori]
+//	           [-batch-window 1ms]
+//
+// Endpoints:
+//
+//	GET  /rules        current rules (?kind=, ?limit=)
+//	GET  /recommend    ?tuple=N (zero-based) — missing-annotation
+//	                   recommendations for one tuple
+//	POST /annotations  apply an annotation batch: JSON
+//	                   {"updates":[{"tuple":0,"annotation":"Annot_3"}]}
+//	                   with optional "remove":true, or a text/plain body in
+//	                   the paper's Figure 14 format ("150:Annot_3", 1-based)
+//	POST /tuples       append tuples: JSON
+//	                   {"tuples":[{"values":["28","85"],"annotations":[]}]}
+//	GET  /stats        serving and dataset statistics
+//	GET  /healthz      liveness probe
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// finish, queued update batches drain, and the listener closes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"annotadb"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "annotserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("annotserve", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		addr          = fs.String("addr", ":8080", "listen address")
+		data          = fs.String("data", "", "dataset file in the paper's Figure 4 format (required)")
+		minSupport    = fs.Float64("min-support", 0.4, "minimum rule support α")
+		minConfidence = fs.Float64("min-confidence", 0.8, "minimum rule confidence β")
+		algorithm     = fs.String("algorithm", "apriori", "mining algorithm: apriori or fpgrowth")
+		batchWindow   = fs.Duration("batch-window", time.Millisecond, "how long the writer lingers to coalesce concurrent update batches")
+		recMinConf    = fs.Float64("rec-min-confidence", 0, "extra confidence filter on recommendation rules")
+		recMinSup     = fs.Float64("rec-min-support", 0, "extra support filter on recommendation rules")
+		recLimit      = fs.Int("rec-limit", 0, "cap recommendations per query (0 = unbounded)")
+		drainTimeout  = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not an error
+		}
+		return err
+	}
+	if *data == "" {
+		return errors.New("missing required -data flag")
+	}
+
+	ds, err := annotadb.LoadDataset(*data)
+	if err != nil {
+		return err
+	}
+	eng, err := annotadb.NewEngine(ds, annotadb.Options{
+		MinSupport:    *minSupport,
+		MinConfidence: *minConfidence,
+		Algorithm:     *algorithm,
+	})
+	if err != nil {
+		return err
+	}
+	srv := annotadb.NewServer(eng, annotadb.ServeOptions{
+		BatchWindow: *batchWindow,
+		Recommend: annotadb.RecommendOptions{
+			MinConfidence: *recMinConf,
+			MinSupport:    *recMinSup,
+			Limit:         *recLimit,
+		},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(stdout, "annotserve: serving %s (%d tuples, %d rules) on http://%s\n",
+		*data, st.Tuples, st.RuleCount, ln.Addr())
+
+	hs := &http.Server{Handler: newHandler(srv)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "annotserve: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		shutdownErr := hs.Shutdown(shCtx) // stop accepting, finish in-flight
+		closeErr := srv.Close(shCtx)      // drain queued update batches
+		<-serveErr                        // always http.ErrServerClosed here
+		if shutdownErr != nil {
+			return fmt.Errorf("shutdown: %w", shutdownErr)
+		}
+		return closeErr
+	case err := <-serveErr:
+		shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		_ = srv.Close(shCtx)
+		return err
+	}
+}
+
+// api exposes one Server over HTTP.
+type api struct {
+	srv *annotadb.Server
+}
+
+func newHandler(srv *annotadb.Server) http.Handler {
+	a := &api{srv: srv}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /rules", a.rules)
+	mux.HandleFunc("GET /recommend", a.recommend)
+	mux.HandleFunc("POST /annotations", a.annotations)
+	mux.HandleFunc("POST /tuples", a.tuples)
+	mux.HandleFunc("GET /stats", a.stats)
+	mux.HandleFunc("GET /healthz", a.healthz)
+	return mux
+}
+
+type ruleJSON struct {
+	LHS          []string `json:"lhs"`
+	RHS          string   `json:"rhs"`
+	Kind         string   `json:"kind"`
+	Support      float64  `json:"support"`
+	Confidence   float64  `json:"confidence"`
+	PatternCount int      `json:"pattern_count"`
+	LHSCount     int      `json:"lhs_count"`
+	N            int      `json:"n"`
+}
+
+func toRuleJSON(r annotadb.Rule) ruleJSON {
+	return ruleJSON{
+		LHS:          r.LHS,
+		RHS:          r.RHS,
+		Kind:         string(r.Kind),
+		Support:      r.Support,
+		Confidence:   r.Confidence,
+		PatternCount: r.PatternCount,
+		LHSCount:     r.LHSCount,
+		N:            r.N,
+	}
+}
+
+type recommendationJSON struct {
+	Tuple      int      `json:"tuple"`
+	Annotation string   `json:"annotation"`
+	Rule       ruleJSON `json:"rule"`
+}
+
+type reportJSON struct {
+	Operation       string  `json:"operation"`
+	Applied         int     `json:"applied"`
+	Skipped         int     `json:"skipped"`
+	Promoted        int     `json:"promoted"`
+	Demoted         int     `json:"demoted"`
+	Discovered      int     `json:"discovered"`
+	Dropped         int     `json:"dropped"`
+	Remined         bool    `json:"remined"`
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+func toReportJSON(r annotadb.UpdateReport) reportJSON {
+	return reportJSON{
+		Operation:       r.Operation,
+		Applied:         r.Applied,
+		Skipped:         r.Skipped,
+		Promoted:        r.Promoted,
+		Demoted:         r.Demoted,
+		Discovered:      r.Discovered,
+		Dropped:         r.Dropped,
+		Remined:         r.Remined,
+		DurationSeconds: r.DurationSeconds,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeUpdateError maps write-path failures to statuses: shutdown and
+// cancellation are availability problems (503, safe to retry elsewhere),
+// everything else is a request defect (400).
+func writeUpdateError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, annotadb.ErrServerClosed),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// maxBodyBytes bounds update request bodies so an oversized payload cannot
+// buffer unbounded memory; generous for real batches (a Figure 14 line is
+// ~12 bytes, so this admits ~million-update batches).
+const maxBodyBytes = 16 << 20
+
+// writeBodyError distinguishes an over-limit body (413) from a malformed
+// one (400).
+func writeBodyError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+}
+
+func (a *api) rules(w http.ResponseWriter, r *http.Request) {
+	rules := a.srv.Rules()
+	if kind := r.URL.Query().Get("kind"); kind != "" {
+		if kind != string(annotadb.DataToAnnotation) && kind != string(annotadb.AnnotationToAnnotation) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown kind %q", kind))
+			return
+		}
+		filtered := rules[:0:0]
+		for _, rl := range rules {
+			if string(rl.Kind) == kind {
+				filtered = append(filtered, rl)
+			}
+		}
+		rules = filtered
+	}
+	if limitStr := r.URL.Query().Get("limit"); limitStr != "" {
+		limit, err := strconv.Atoi(limitStr)
+		if err != nil || limit < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", limitStr))
+			return
+		}
+		if limit < len(rules) {
+			rules = rules[:limit]
+		}
+	}
+	out := make([]ruleJSON, len(rules))
+	for i, rl := range rules {
+		out[i] = toRuleJSON(rl)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "rules": out})
+}
+
+func (a *api) recommend(w http.ResponseWriter, r *http.Request) {
+	tupleStr := r.URL.Query().Get("tuple")
+	if tupleStr == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing tuple query parameter (zero-based tuple position)"))
+		return
+	}
+	idx, err := strconv.Atoi(tupleStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tuple index %q", tupleStr))
+		return
+	}
+	recs, err := a.srv.Recommend(idx)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	out := make([]recommendationJSON, len(recs))
+	for i, rec := range recs {
+		out[i] = recommendationJSON{
+			Tuple:      rec.Tuple,
+			Annotation: rec.Annotation,
+			Rule:       toRuleJSON(rec.Rule),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tuple": idx, "count": len(out), "recommendations": out})
+}
+
+type annotationsRequest struct {
+	Updates []struct {
+		Tuple      int    `json:"tuple"`
+		Annotation string `json:"annotation"`
+	} `json:"updates"`
+	Remove bool `json:"remove"`
+}
+
+func (a *api) annotations(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	var (
+		rep annotadb.UpdateReport
+		err error
+	)
+	switch {
+	case strings.HasPrefix(ct, "text/plain"):
+		// The paper's Figure 14 batch format, 1-based tuple indexes.
+		rep, err = a.srv.ApplyUpdateFile(r.Context(), r.Body)
+	default:
+		var req annotationsRequest
+		if derr := json.NewDecoder(r.Body).Decode(&req); derr != nil {
+			writeBodyError(w, derr)
+			return
+		}
+		batch := make([]annotadb.AnnotationUpdate, len(req.Updates))
+		for i, u := range req.Updates {
+			batch[i] = annotadb.AnnotationUpdate{Tuple: u.Tuple, Annotation: u.Annotation}
+		}
+		if req.Remove {
+			rep, err = a.srv.RemoveAnnotations(r.Context(), batch)
+		} else {
+			rep, err = a.srv.AddAnnotations(r.Context(), batch)
+		}
+	}
+	if err != nil {
+		writeUpdateError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toReportJSON(rep))
+}
+
+type tuplesRequest struct {
+	Tuples []struct {
+		Values      []string `json:"values"`
+		Annotations []string `json:"annotations"`
+	} `json:"tuples"`
+}
+
+func (a *api) tuples(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req tuplesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	batch := make([]annotadb.TupleSpec, len(req.Tuples))
+	for i, t := range req.Tuples {
+		batch[i] = annotadb.TupleSpec{Values: t.Values, Annotations: t.Annotations}
+	}
+	rep, err := a.srv.AddTuples(r.Context(), batch)
+	if err != nil {
+		writeUpdateError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toReportJSON(rep))
+}
+
+func (a *api) stats(w http.ResponseWriter, r *http.Request) {
+	st := a.srv.Stats()
+	// Annotation counters come from the maintained frequency table
+	// (O(#annotations)); a full Dataset.Stats() scan would hold the
+	// relation read lock for O(#tuples) on every poll and stall the writer.
+	annots := a.srv.Dataset().Annotations()
+	attachments := 0
+	for _, ac := range annots {
+		attachments += ac.Count
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshot_seq":         st.SnapshotSeq,
+		"tuples":               st.Tuples,
+		"rule_count":           st.RuleCount,
+		"requests":             st.Requests,
+		"batches":              st.Batches,
+		"coalesced":            st.Coalesced,
+		"reads":                st.Reads,
+		"remines":              st.Remines,
+		"attachments":          attachments,
+		"distinct_annotations": len(annots),
+	})
+}
+
+func (a *api) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

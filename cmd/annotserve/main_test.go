@@ -1,0 +1,488 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"annotadb"
+)
+
+const testDataset = `# fixture: {28,85} => Annot_1 strong, Annot_5 => Annot_1 moderate
+28 85 99 Annot_1 Annot_5
+28 85 12 Annot_1 Annot_5
+28 85 40 Annot_1 Annot_5
+28 85 41 Annot_1
+28 85 Annot_1
+28 41
+41 85 Annot_5
+62 12
+62 40
+99 12
+`
+
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "dataset.txt")
+	if err := os.WriteFile(path, []byte(testDataset), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func newTestAPI(t *testing.T) (*httptest.Server, *annotadb.Server) {
+	t.Helper()
+	ds, err := annotadb.LoadDataset(writeDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := annotadb.NewEngine(ds, annotadb.Options{MinSupport: 0.3, MinConfidence: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := annotadb.NewServer(eng, annotadb.ServeOptions{BatchWindow: 200 * time.Microsecond})
+	ts := httptest.NewServer(newHandler(srv))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	return ts, srv
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestRulesEndpoint(t *testing.T) {
+	ts, _ := newTestAPI(t)
+	var body struct {
+		Count int        `json:"count"`
+		Rules []ruleJSON `json:"rules"`
+	}
+	if code := getJSON(t, ts.URL+"/rules", &body); code != http.StatusOK {
+		t.Fatalf("GET /rules = %d", code)
+	}
+	if body.Count == 0 || len(body.Rules) != body.Count {
+		t.Fatalf("GET /rules returned count=%d rules=%d", body.Count, len(body.Rules))
+	}
+	found := false
+	for _, r := range body.Rules {
+		if r.RHS == "Annot_1" && len(r.LHS) == 2 && r.LHS[0] == "28" && r.LHS[1] == "85" {
+			found = true
+			if r.Kind != "data-to-annotation" {
+				t.Errorf("{28,85}=>Annot_1 kind = %q", r.Kind)
+			}
+			if r.N != 10 {
+				t.Errorf("{28,85}=>Annot_1 N = %d, want 10", r.N)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("expected rule {28,85}=>Annot_1 missing from %+v", body.Rules)
+	}
+
+	// kind filter and limit
+	if code := getJSON(t, ts.URL+"/rules?kind=annotation-to-annotation", &body); code != http.StatusOK {
+		t.Fatalf("GET /rules?kind = %d", code)
+	}
+	for _, r := range body.Rules {
+		if r.Kind != "annotation-to-annotation" {
+			t.Errorf("kind filter leaked %q", r.Kind)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/rules?limit=1", &body); code != http.StatusOK || body.Count > 1 {
+		t.Errorf("GET /rules?limit=1 = %d, count=%d", code, body.Count)
+	}
+	if code := getJSON(t, ts.URL+"/rules?kind=bogus", nil); code != http.StatusBadRequest {
+		t.Errorf("GET /rules?kind=bogus = %d, want 400", code)
+	}
+}
+
+func TestRecommendEndpoint(t *testing.T) {
+	ts, _ := newTestAPI(t)
+	// Tuple 5 is {28,41} un-annotated; tuple 4 {28,85}+Annot_1 is complete
+	// for the strong rule. Tuple 6 {41,85}+Annot_5 should draw Annot_1 via
+	// Annot_5=>Annot_1 if that rule is valid at 0.3/0.7 (4/5 conf = 0.8).
+	var body struct {
+		Tuple           int                  `json:"tuple"`
+		Count           int                  `json:"count"`
+		Recommendations []recommendationJSON `json:"recommendations"`
+	}
+	if code := getJSON(t, ts.URL+"/recommend?tuple=6", &body); code != http.StatusOK {
+		t.Fatalf("GET /recommend = %d", code)
+	}
+	if body.Tuple != 6 {
+		t.Errorf("tuple echoed as %d", body.Tuple)
+	}
+	foundA1 := false
+	for _, rec := range body.Recommendations {
+		if rec.Annotation == "Annot_1" {
+			foundA1 = true
+			if rec.Rule.RHS != "Annot_1" {
+				t.Errorf("supporting rule RHS = %q", rec.Rule.RHS)
+			}
+		}
+	}
+	if !foundA1 {
+		t.Errorf("tuple 6 did not draw Annot_1: %+v", body.Recommendations)
+	}
+
+	if code := getJSON(t, ts.URL+"/recommend", nil); code != http.StatusBadRequest {
+		t.Errorf("GET /recommend without tuple = %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/recommend?tuple=banana", nil); code != http.StatusBadRequest {
+		t.Errorf("GET /recommend?tuple=banana = %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/recommend?tuple=999", nil); code != http.StatusNotFound {
+		t.Errorf("GET /recommend?tuple=999 = %d, want 404", code)
+	}
+}
+
+func TestAnnotationsEndpointJSONAndText(t *testing.T) {
+	ts, srv := newTestAPI(t)
+	var rep reportJSON
+	code := postJSON(t, ts.URL+"/annotations",
+		`{"updates":[{"tuple":5,"annotation":"Annot_1"},{"tuple":5,"annotation":"Annot_1"}]}`, &rep)
+	if code != http.StatusOK {
+		t.Fatalf("POST /annotations = %d", code)
+	}
+	if rep.Applied != 1 || rep.Skipped != 1 {
+		t.Errorf("applied/skipped = %d/%d, want 1/1 (within-batch duplicate)", rep.Applied, rep.Skipped)
+	}
+
+	// Figure 14 text format, 1-based indexes: annotate the 8th tuple.
+	resp, err := http.Post(ts.URL+"/annotations", "text/plain", strings.NewReader("8:Annot_5\n\n# comment\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rep.Applied != 1 {
+		t.Fatalf("text POST = %d, applied = %d", resp.StatusCode, rep.Applied)
+	}
+
+	// Removal via remove flag.
+	code = postJSON(t, ts.URL+"/annotations",
+		`{"remove":true,"updates":[{"tuple":5,"annotation":"Annot_1"}]}`, &rep)
+	if code != http.StatusOK || rep.Applied != 1 {
+		t.Fatalf("remove POST = %d, applied = %d", code, rep.Applied)
+	}
+
+	// Bad requests.
+	if code := postJSON(t, ts.URL+"/annotations", `{"updates":[{"tuple":999,"annotation":"Annot_1"}]}`, nil); code != http.StatusBadRequest {
+		t.Errorf("out-of-range POST = %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/annotations", `not json`, nil); code != http.StatusBadRequest {
+		t.Errorf("malformed POST = %d, want 400", code)
+	}
+
+	if got := srv.Stats().Requests; got < 3 {
+		t.Errorf("server saw %d write requests, want >= 3", got)
+	}
+}
+
+func TestTuplesEndpoint(t *testing.T) {
+	ts, srv := newTestAPI(t)
+	var rep reportJSON
+	code := postJSON(t, ts.URL+"/tuples",
+		`{"tuples":[{"values":["28","85"],"annotations":["Annot_1"]},{"values":["62"]}]}`, &rep)
+	if code != http.StatusOK {
+		t.Fatalf("POST /tuples = %d", code)
+	}
+	if rep.Applied != 2 {
+		t.Errorf("applied = %d, want 2", rep.Applied)
+	}
+	if got := srv.Stats().Tuples; got != 12 {
+		t.Errorf("tuples after append = %d, want 12", got)
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	ts, _ := newTestAPI(t)
+	var st map[string]any
+	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", code)
+	}
+	for _, key := range []string{"snapshot_seq", "tuples", "rule_count", "reads"} {
+		if _, ok := st[key]; !ok {
+			t.Errorf("stats missing %q: %v", key, st)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("GET /healthz = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/nosuch", nil); code != http.StatusNotFound {
+		t.Errorf("GET /nosuch = %d, want 404", code)
+	}
+	resp, err := http.Post(ts.URL+"/rules", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /rules = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestConcurrentReadsDuringWrites is the acceptance check: GET /rules and
+// GET /recommend keep answering, with consistent payloads, while POST
+// /annotations batches are being applied.
+func TestConcurrentReadsDuringWrites(t *testing.T) {
+	ts, srv := newTestAPI(t)
+	client := ts.Client()
+
+	const (
+		readers        = 6
+		readsPerReader = 40
+		writerBatches  = 25
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers+1)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writerBatches; i++ {
+			tuple := 5 + i%5 // rotate over un/lightly-annotated tuples
+			body := fmt.Sprintf(`{"updates":[{"tuple":%d,"annotation":"Annot_1"}]}`, tuple)
+			resp, err := client.Post(ts.URL+"/annotations", "application/json", strings.NewReader(body))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errCh <- fmt.Errorf("POST /annotations = %d", resp.StatusCode)
+				return
+			}
+			body = fmt.Sprintf(`{"remove":true,"updates":[{"tuple":%d,"annotation":"Annot_1"}]}`, tuple)
+			resp, err = client.Post(ts.URL+"/annotations", "application/json", strings.NewReader(body))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < readsPerReader; i++ {
+				var rules struct {
+					Count int        `json:"count"`
+					Rules []ruleJSON `json:"rules"`
+				}
+				resp, err := client.Get(ts.URL + "/rules")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&rules); err != nil {
+					resp.Body.Close()
+					errCh <- fmt.Errorf("reader %d: decode rules: %w", r, err)
+					return
+				}
+				resp.Body.Close()
+				// Payload consistency: every rule shares one N and meets
+				// the serving thresholds.
+				for _, rl := range rules.Rules {
+					if rl.N != 10 {
+						errCh <- fmt.Errorf("reader %d: rule N = %d, want 10", r, rl.N)
+						return
+					}
+					if rl.Confidence < 0.7-1e-9 || rl.Support < 0.3-1e-9 {
+						errCh <- fmt.Errorf("reader %d: sub-threshold rule served: %+v", r, rl)
+						return
+					}
+				}
+				resp, err = client.Get(ts.URL + fmt.Sprintf("/recommend?tuple=%d", i%10))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				if resp.StatusCode != http.StatusOK {
+					resp.Body.Close()
+					errCh <- fmt.Errorf("reader %d: GET /recommend = %d", r, resp.StatusCode)
+					return
+				}
+				resp.Body.Close()
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	st := srv.Stats()
+	if st.Requests != 2*writerBatches {
+		t.Errorf("write requests = %d, want %d", st.Requests, 2*writerBatches)
+	}
+	t.Logf("concurrent e2e: %d write requests -> %d batches, %d snapshot reads",
+		st.Requests, st.Batches, st.Reads)
+}
+
+func TestWriteAfterShutdownIs503(t *testing.T) {
+	ds, err := annotadb.LoadDataset(writeDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := annotadb.NewEngine(ds, annotadb.Options{MinSupport: 0.3, MinConfidence: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := annotadb.NewServer(eng, annotadb.ServeOptions{BatchWindow: -1})
+	ts := httptest.NewServer(newHandler(srv))
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	code := postJSON(t, ts.URL+"/annotations", `{"updates":[{"tuple":0,"annotation":"Annot_1"}]}`, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("write after close = %d, want 503", code)
+	}
+	// Reads still serve the final snapshot.
+	if code := getJSON(t, ts.URL+"/rules", nil); code != http.StatusOK {
+		t.Errorf("read after close = %d, want 200", code)
+	}
+}
+
+func TestOversizedBodyIs413(t *testing.T) {
+	ts, _ := newTestAPI(t)
+	huge := `{"tuples":[{"values":["` + strings.Repeat("x", 17<<20) + `"]}]}`
+	resp, err := http.Post(ts.URL+"/tuples", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized POST /tuples = %d, want 413", resp.StatusCode)
+	}
+}
+
+// syncBuffer is a goroutine-safe writer for capturing run() output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRunStartsAndShutsDownGracefully(t *testing.T) {
+	path := writeDataset(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-data", path, "-addr", "127.0.0.1:0", "-min-support", "0.3", "-min-confidence", "0.7"}, out)
+	}()
+	// Wait for the listener announcement.
+	deadline := time.Now().Add(10 * time.Second)
+	var url string
+	for time.Now().Before(deadline) {
+		s := out.String()
+		if i := strings.Index(s, "http://"); i >= 0 {
+			url = strings.TrimSpace(s[i:strings.IndexByte(s[i:], '\n')+i])
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if url == "" {
+		t.Fatalf("server never announced its address; output: %q", out.String())
+	}
+	if code := getJSON(t, url+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", code)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not shut down after context cancellation")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("missing shutdown message in output: %q", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	out := &syncBuffer{}
+	if err := run(context.Background(), []string{"-h"}, out); err != nil {
+		t.Errorf("run -h returned %v, want nil (usage is not an error)", err)
+	}
+	if !strings.Contains(out.String(), "-data") {
+		t.Errorf("run -h did not print usage: %q", out.String())
+	}
+	if err := run(context.Background(), nil, out); err == nil {
+		t.Error("run without -data succeeded")
+	}
+	if err := run(context.Background(), []string{"-data", "/nonexistent/ds.txt"}, out); err == nil {
+		t.Error("run with missing dataset succeeded")
+	}
+	path := writeDataset(t)
+	if err := run(context.Background(), []string{"-data", path, "-algorithm", "bogus"}, out); err == nil {
+		t.Error("run with bogus algorithm succeeded")
+	}
+}

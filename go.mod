@@ -1,0 +1,3 @@
+module annotadb
+
+go 1.22

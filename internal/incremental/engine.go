@@ -129,6 +129,12 @@ type Engine struct {
 	valid *rules.Set
 	cands *rules.Set
 
+	// view memoizes valid.Freeze() between mutations so that snapshot reads
+	// are O(1) after the first. Invalidated by bootstrap and reclassify,
+	// which every mutating path funnels through (paths that early-return
+	// without reaching them did not change the rule set).
+	view *rules.View
+
 	dataCat  *apriori.Catalog
 	annotCat *apriori.Catalog
 
@@ -208,6 +214,7 @@ func (e *Engine) bootstrap() error {
 	e.minCount = res.MinCount
 	e.slackCount = res.SlackCount
 	e.relevant = nil
+	e.view = nil
 	e.refreshRelevance()
 	e.stats.Bootstraps++
 	return nil
@@ -281,6 +288,47 @@ func (e *Engine) Rules() *rules.Set {
 	return e.valid.Clone()
 }
 
+// RulesView returns an immutable view of the valid rule set. The view is
+// memoized: between mutations, repeated calls return the same pointer
+// without copying, which makes it the cheap read path for serving layers.
+func (e *Engine) RulesView() *rules.View {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rulesViewLocked()
+}
+
+func (e *Engine) rulesViewLocked() *rules.View {
+	if e.view == nil {
+		e.view = e.valid.Freeze()
+	}
+	return e.view
+}
+
+// Snapshot is a consistent capture of the engine's externally visible state,
+// taken under one lock acquisition: the rule view, the thresholds' world
+// size, the relation version the rules correspond to, and the lifetime
+// counters. Everything in a Snapshot is immutable and safe to share.
+type Snapshot struct {
+	Rules      *rules.View
+	N          int
+	MinCount   int
+	RelVersion uint64
+	Stats      Stats
+}
+
+// Snapshot captures the current state atomically with respect to updates.
+func (e *Engine) Snapshot() Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Snapshot{
+		Rules:      e.rulesViewLocked(),
+		N:          e.n,
+		MinCount:   e.minCount,
+		RelVersion: e.rel.Version(),
+		Stats:      e.stats,
+	}
+}
+
 // Candidates returns a snapshot of the near-miss candidate store.
 func (e *Engine) Candidates() *rules.Set {
 	e.mu.Lock()
@@ -339,6 +387,7 @@ func (e *Engine) fileRule(r rules.Rule) bool {
 // changed, moving rules between the valid set and candidate store and
 // dropping candidates that fell below the slack pool.
 func (e *Engine) reclassify(rep *Report) {
+	e.view = nil
 	var demote []rules.Rule
 	e.valid.Each(func(r rules.Rule) bool {
 		if !r.Meets(e.cfg.MinSupport, e.cfg.MinConfidence) {

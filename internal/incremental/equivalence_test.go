@@ -1,0 +1,136 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+
+	"annotadb/internal/mining"
+	"annotadb/internal/relation"
+	"annotadb/internal/rules"
+)
+
+// This file holds the end-state equivalence property: a *shuffled* sequence
+// of Case 1 / Case 2 / Case 3 / removal updates, verified only once at the
+// end against a from-scratch mine of the final relation. It complements the
+// per-step property tests in incremental_test.go: those catch the step that
+// breaks exactness, this one catches order-dependent corruption that happens
+// to cancel out under per-step verification order but not under another
+// permutation of the same updates.
+
+// opKind enumerates the update operations the shuffler draws from.
+type opKind int
+
+const (
+	opCase1 opKind = iota // annotated tuple batch
+	opCase2               // un-annotated tuple batch
+	opCase3               // annotation attachments
+	opRemove              // annotation removals
+)
+
+// makeOps derives a deterministic operation list from rng. Annotation
+// updates only target the initial tuple range so every permutation of the
+// list is valid regardless of when appends land.
+func makeOps(rng *rand.Rand, w *randomWorld, initialLen, count int) []func(e *Engine) error {
+	ops := make([]func(e *Engine) error, 0, count)
+	for i := 0; i < count; i++ {
+		switch opKind(rng.Intn(4)) {
+		case opCase1:
+			var batch []relation.Tuple
+			for k := 0; k < 1+rng.Intn(6); k++ {
+				batch = append(batch, w.randomTuple())
+			}
+			ops = append(ops, func(e *Engine) error {
+				_, err := e.AddAnnotatedTuples(batch)
+				return err
+			})
+		case opCase2:
+			var batch []relation.Tuple
+			for k := 0; k < 1+rng.Intn(6); k++ {
+				batch = append(batch, w.randomUnannotatedTuple())
+			}
+			ops = append(ops, func(e *Engine) error {
+				_, err := e.AddUnannotatedTuples(batch)
+				return err
+			})
+		case opCase3:
+			var batch []relation.AnnotationUpdate
+			for k := 0; k < 1+rng.Intn(5); k++ {
+				batch = append(batch, relation.AnnotationUpdate{
+					Index:      rng.Intn(initialLen),
+					Annotation: w.annots[rng.Intn(len(w.annots))],
+				})
+			}
+			ops = append(ops, func(e *Engine) error {
+				_, err := e.AddAnnotations(batch)
+				return err
+			})
+		case opRemove:
+			var batch []relation.AnnotationUpdate
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				batch = append(batch, relation.AnnotationUpdate{
+					Index:      rng.Intn(initialLen),
+					Annotation: w.annots[rng.Intn(len(w.annots))],
+				})
+			}
+			ops = append(ops, func(e *Engine) error {
+				_, err := e.RemoveAnnotations(batch)
+				return err
+			})
+		}
+	}
+	return ops
+}
+
+func TestShuffledUpdateSequencesEquivalentToRemine(t *testing.T) {
+	const (
+		seeds        = 6
+		opsPerSeed   = 12
+		permutations = 4
+	)
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(100 + seed))
+		initial := 25 + rng.Intn(30)
+		cfg := randomCfg(rng)
+		opSeed := rng.Int63()
+		for perm := 0; perm < permutations; perm++ {
+			// Fresh world per permutation: ops close over their payloads,
+			// which are deterministic given opSeed, but the relation and
+			// engine must start clean every time.
+			wrng := rand.New(rand.NewSource(300 + seed))
+			w := newRandomWorld(wrng, initial)
+			e, err := New(w.rel, cfg, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops := makeOps(rand.New(rand.NewSource(opSeed)), w, initial, opsPerSeed)
+			permRng := rand.New(rand.NewSource(500 + int64(perm)))
+			permRng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+
+			for i, op := range ops {
+				if err := op(e); err != nil {
+					t.Fatalf("seed %d perm %d op %d: %v", seed, perm, i, err)
+				}
+			}
+
+			// End-state check 1: the engine's own re-mine comparison.
+			if err := e.Verify(); err != nil {
+				t.Errorf("seed %d perm %d: %v", seed, perm, err)
+				continue
+			}
+			// End-state check 2 (independent of Verify's internals): mine
+			// the final relation from scratch and diff the rule sets.
+			res, err := mining.Mine(w.rel, cfg)
+			if err != nil {
+				t.Fatalf("seed %d perm %d: fresh mine: %v", seed, perm, err)
+			}
+			if diff := rules.Diff(e.Rules(), res.Rules, w.rel.Dictionary()); len(diff) != 0 {
+				t.Errorf("seed %d perm %d: %d discrepancies vs fresh mine, first: %s",
+					seed, perm, len(diff), diff[0])
+			}
+			if err := w.rel.CheckInvariants(); err != nil {
+				t.Errorf("seed %d perm %d: relation invariants: %v", seed, perm, err)
+			}
+		}
+	}
+}

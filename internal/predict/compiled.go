@@ -1,0 +1,149 @@
+package predict
+
+import (
+	"sort"
+
+	"annotadb/internal/itemset"
+	"annotadb/internal/relation"
+	"annotadb/internal/rules"
+)
+
+// RuleIter is the minimal read interface a rule collection must offer to
+// back recommendations: visit every rule, stopping early when fn returns
+// false. *rules.Set (via an adapter) and *rules.View both satisfy it, which
+// lets the serving layer recommend from an immutable snapshot without ever
+// touching the maintenance engine's lock.
+type RuleIter interface {
+	EachRule(fn func(rules.Rule) bool)
+}
+
+// setIter adapts a *rules.Set to RuleIter.
+type setIter struct{ set *rules.Set }
+
+func (s setIter) EachRule(fn func(rules.Rule) bool) {
+	if s.set == nil {
+		return
+	}
+	s.set.Each(fn)
+}
+
+// Compiled is an immutable recommendation evaluator: the eligible rules of
+// one rule collection, filtered by Options and pre-sorted into deterministic
+// evaluation order. Compiling once and evaluating many times moves the
+// filter/sort cost off the per-request path; a Compiled value is safe for
+// concurrent use.
+type Compiled struct {
+	opts     Options
+	eligible []rules.Rule
+}
+
+// Compile filters and orders the rules of src under opts.
+func Compile(src RuleIter, opts Options) *Compiled {
+	var eligible []rules.Rule
+	src.EachRule(func(r rules.Rule) bool {
+		if opts.ruleAllowed(r) {
+			eligible = append(eligible, r)
+		}
+		return true
+	})
+	// Deterministic evaluation order keeps tie-breaking stable: best rule
+	// first, identity as the final tie-break.
+	sort.Slice(eligible, func(i, j int) bool {
+		if betterRule(eligible[i], eligible[j]) {
+			return true
+		}
+		if betterRule(eligible[j], eligible[i]) {
+			return false
+		}
+		if c := eligible[i].LHS.Compare(eligible[j].LHS); c != 0 {
+			return c < 0
+		}
+		return eligible[i].RHS < eligible[j].RHS
+	})
+	return &Compiled{opts: opts, eligible: eligible}
+}
+
+// Len returns the number of eligible rules.
+func (c *Compiled) Len() int { return len(c.eligible) }
+
+// Rules returns the eligible rules in evaluation order. The slice is shared;
+// callers must not modify it.
+func (c *Compiled) Rules() []rules.Rule { return c.eligible }
+
+// ForTuple evaluates a free-standing tuple; returned recommendations use
+// TupleIndex -1. See ForTupleAt for tuples that live in a relation.
+func (c *Compiled) ForTuple(tu relation.Tuple) []Recommendation {
+	return c.ForTupleAt(tu, -1)
+}
+
+// ForTupleAt evaluates one tuple, stamping idx into the recommendations.
+// For each missing annotation the best supporting rule wins (highest
+// confidence, then support, then the more general LHS).
+func (c *Compiled) ForTupleAt(tu relation.Tuple, idx int) []Recommendation {
+	bestByAnnot := make(map[itemset.Item]rules.Rule)
+	for _, r := range c.eligible {
+		if tu.Annots.Contains(r.RHS) || !tu.Contains(r.LHS) {
+			continue
+		}
+		if cur, ok := bestByAnnot[r.RHS]; ok && !betterRule(r, cur) {
+			continue
+		}
+		bestByAnnot[r.RHS] = r
+	}
+	out := make([]Recommendation, 0, len(bestByAnnot))
+	for a, r := range bestByAnnot {
+		out = append(out, Recommendation{TupleIndex: idx, Annotation: a, Rule: r})
+	}
+	sortRecommendations(out)
+	if c.opts.Limit > 0 && len(out) > c.opts.Limit {
+		out = out[:c.opts.Limit]
+	}
+	return out
+}
+
+// ScanRange scans tuple positions [start, end) of rel against the compiled
+// rules, mirroring Recommender.ScanRange.
+func (c *Compiled) ScanRange(rel *relation.Relation, start, end int) []Recommendation {
+	if start < 0 {
+		start = 0
+	}
+	if n := rel.Len(); end > n {
+		end = n
+	}
+	if start >= end {
+		return nil
+	}
+	type key struct {
+		idx int
+		a   itemset.Item
+	}
+	best := make(map[key]rules.Rule)
+	rel.EachFrom(start, func(i int, tu relation.Tuple) bool {
+		if i >= end {
+			return false
+		}
+		for _, r := range c.eligible {
+			if tu.Annots.Contains(r.RHS) {
+				continue
+			}
+			if !tu.Contains(r.LHS) {
+				continue
+			}
+			k := key{i, r.RHS}
+			if cur, ok := best[k]; ok && !betterRule(r, cur) {
+				continue
+			}
+			best[k] = r
+		}
+		return true
+	})
+	out := make([]Recommendation, 0, len(best))
+	for k, r := range best {
+		out = append(out, Recommendation{TupleIndex: k.idx, Annotation: k.a, Rule: r})
+	}
+	sortRecommendations(out)
+	if c.opts.Limit > 0 && len(out) > c.opts.Limit {
+		out = out[:c.opts.Limit]
+	}
+	return out
+}

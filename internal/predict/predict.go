@@ -113,51 +113,7 @@ func (rc *Recommender) ScanAll() []Recommendation {
 
 // ScanRange scans tuple positions [start, end).
 func (rc *Recommender) ScanRange(start, end int) []Recommendation {
-	if start < 0 {
-		start = 0
-	}
-	if end > rc.rel.Len() {
-		end = rc.rel.Len()
-	}
-	if start >= end {
-		return nil
-	}
-	eligible := rc.eligibleRules()
-	// Best supporting rule per (tuple, annotation): highest confidence,
-	// then highest support.
-	type key struct {
-		idx int
-		a   itemset.Item
-	}
-	best := make(map[key]rules.Rule)
-	rc.rel.EachFrom(start, func(i int, tu relation.Tuple) bool {
-		if i >= end {
-			return false
-		}
-		for _, r := range eligible {
-			if tu.Annots.Contains(r.RHS) {
-				continue
-			}
-			if !tu.Contains(r.LHS) {
-				continue
-			}
-			k := key{i, r.RHS}
-			if cur, ok := best[k]; ok && !betterRule(r, cur) {
-				continue
-			}
-			best[k] = r
-		}
-		return true
-	})
-	out := make([]Recommendation, 0, len(best))
-	for k, r := range best {
-		out = append(out, Recommendation{TupleIndex: k.idx, Annotation: k.a, Rule: r})
-	}
-	sortRecommendations(out)
-	if rc.opts.Limit > 0 && len(out) > rc.opts.Limit {
-		out = out[:rc.opts.Limit]
-	}
-	return out
+	return rc.compile().ScanRange(rc.rel, start, end)
 }
 
 // OnInsert is exploitation case (2): "when a patch of new tuples is added to
@@ -171,49 +127,14 @@ func (rc *Recommender) OnInsert(start int) []Recommendation {
 // ForTuple evaluates a free-standing tuple (e.g. before insertion). The
 // returned recommendations use TupleIndex -1.
 func (rc *Recommender) ForTuple(tu relation.Tuple) []Recommendation {
-	var out []Recommendation
-	bestByAnnot := make(map[itemset.Item]rules.Rule)
-	for _, r := range rc.eligibleRules() {
-		if tu.Annots.Contains(r.RHS) || !tu.Contains(r.LHS) {
-			continue
-		}
-		if cur, ok := bestByAnnot[r.RHS]; ok && !betterRule(r, cur) {
-			continue
-		}
-		bestByAnnot[r.RHS] = r
-	}
-	for a, r := range bestByAnnot {
-		out = append(out, Recommendation{TupleIndex: -1, Annotation: a, Rule: r})
-	}
-	sortRecommendations(out)
-	if rc.opts.Limit > 0 && len(out) > rc.opts.Limit {
-		out = out[:rc.opts.Limit]
-	}
-	return out
+	return rc.compile().ForTuple(tu)
 }
 
-func (rc *Recommender) eligibleRules() []rules.Rule {
-	var out []rules.Rule
-	rc.src.Rules().Each(func(r rules.Rule) bool {
-		if rc.opts.ruleAllowed(r) {
-			out = append(out, r)
-		}
-		return true
-	})
-	// Deterministic evaluation order keeps tie-breaking stable.
-	sort.Slice(out, func(i, j int) bool {
-		if betterRule(out[i], out[j]) {
-			return true
-		}
-		if betterRule(out[j], out[i]) {
-			return false
-		}
-		if c := out[i].LHS.Compare(out[j].LHS); c != 0 {
-			return c < 0
-		}
-		return out[i].RHS < out[j].RHS
-	})
-	return out
+// compile snapshots the source's current rules into an evaluator. The
+// Recommender re-compiles per call because its RuleSource is live; callers
+// holding an immutable rule view should use Compile directly and reuse it.
+func (rc *Recommender) compile() *Compiled {
+	return Compile(setIter{rc.src.Rules()}, rc.opts)
 }
 
 // betterRule orders supporting rules: higher confidence wins, then higher

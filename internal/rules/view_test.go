@@ -1,0 +1,114 @@
+package rules
+
+import (
+	"testing"
+
+	"annotadb/internal/itemset"
+)
+
+func viewRule(dataID, annotID, pat, lhs, n int) Rule {
+	return Rule{
+		LHS:          itemset.New(itemset.DataItem(dataID)),
+		RHS:          itemset.AnnotationItem(annotID),
+		PatternCount: pat,
+		LHSCount:     lhs,
+		N:            n,
+	}
+}
+
+func TestFreezeEmpty(t *testing.T) {
+	if got := (*Set)(nil).Freeze(); got != EmptyView() {
+		t.Fatalf("Freeze(nil) = %v, want the canonical empty view", got)
+	}
+	if got := NewSet().Freeze(); got != EmptyView() {
+		t.Fatalf("Freeze(empty) = %v, want the canonical empty view", got)
+	}
+	if EmptyView().Len() != 0 {
+		t.Fatalf("EmptyView().Len() = %d, want 0", EmptyView().Len())
+	}
+	EmptyView().EachRule(func(Rule) bool { t.Fatal("EachRule on empty view visited a rule"); return false })
+}
+
+func TestFreezeIsImmutableSnapshot(t *testing.T) {
+	s := NewSet()
+	r1 := viewRule(1, 1, 3, 4, 10)
+	r2 := viewRule(2, 1, 5, 5, 10)
+	s.Add(r1)
+	s.Add(r2)
+
+	v := s.Freeze()
+	if v.Len() != 2 {
+		t.Fatalf("view has %d rules, want 2", v.Len())
+	}
+
+	// Mutate the set after freezing: add, update counts, remove.
+	s.Add(viewRule(3, 1, 9, 9, 10))
+	s.Update(r1.ID(), func(r Rule) Rule { r.PatternCount = 99; return r })
+	s.Remove(r2.ID())
+
+	if v.Len() != 2 {
+		t.Fatalf("view changed after set mutation: %d rules", v.Len())
+	}
+	got, ok := v.Get(r1.ID())
+	if !ok || got.PatternCount != 3 {
+		t.Fatalf("view rule r1 = %+v (ok=%v), want original counts", got, ok)
+	}
+	if !v.Has(r2.ID()) {
+		t.Fatal("view lost r2 after it was removed from the set")
+	}
+}
+
+func TestViewSortedMatchesSet(t *testing.T) {
+	s := NewSet()
+	for i := 5; i >= 1; i-- {
+		s.Add(viewRule(i, 1, i, i+1, 10))
+	}
+	v := s.Freeze()
+	want := s.Sorted()
+	got := v.Sorted()
+	if len(got) != len(want) {
+		t.Fatalf("sorted lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID() != want[i].ID() {
+			t.Fatalf("order diverges at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestViewThawIndependent(t *testing.T) {
+	s := NewSet()
+	r := viewRule(1, 2, 4, 5, 10)
+	s.Add(r)
+	v := s.Freeze()
+	thawed := v.Thaw()
+	thawed.Remove(r.ID())
+	if !v.Has(r.ID()) {
+		t.Fatal("mutating a thawed set leaked into the view")
+	}
+	if diff := Diff(v.Thaw(), s, nil); len(diff) != 0 {
+		t.Fatalf("thawed view differs from source set: %v", diff)
+	}
+}
+
+func TestViewEachRuleOrderAndStop(t *testing.T) {
+	s := NewSet()
+	for i := 1; i <= 4; i++ {
+		s.Add(viewRule(i, 1, i, i+1, 10))
+	}
+	v := s.Freeze()
+	var seen []Rule
+	v.EachRule(func(r Rule) bool {
+		seen = append(seen, r)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 {
+		t.Fatalf("EachRule visited %d rules after early stop, want 2", len(seen))
+	}
+	sorted := v.Sorted()
+	for i := range seen {
+		if seen[i].ID() != sorted[i].ID() {
+			t.Fatalf("EachRule order diverges from Sorted at %d", i)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"annotadb/internal/incremental"
+	"annotadb/internal/mining"
+	"annotadb/internal/relation"
+)
+
+// Benchmarks demonstrating the serving core's read-path property: readers
+// work on an atomically loaded immutable snapshot, so throughput scales
+// with GOMAXPROCS instead of flatlining on the engine's write lock. Run
+// with e.g.
+//
+//	go test -bench . -cpu 1,2,4,8 ./internal/serve
+//
+// and compare BenchmarkSnapshotRead / BenchmarkRecommend (lock-free reads)
+// against BenchmarkEngineRulesBaseline (every read clones under the engine
+// mutex): the former's ns/op holds or improves as -cpu grows, the latter's
+// degrades with contention.
+
+func benchWorld(b *testing.B) (*Server, *incremental.Engine, *relation.Relation) {
+	b.Helper()
+	rel, _ := buildWorld(11, 400)
+	eng, err := incremental.New(rel, mining.Config{MinSupport: 0.15, MinConfidence: 0.5, Parallelism: 1}, incremental.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(eng, Config{BatchWindow: 100_000}) // 100µs window
+	b.Cleanup(func() {
+		if err := s.Close(context.Background()); err != nil {
+			b.Error(err)
+		}
+	})
+	return s, eng, rel
+}
+
+// BenchmarkSnapshotRead measures the raw read path: one atomic load plus a
+// walk over the immutable rule view.
+func BenchmarkSnapshotRead(b *testing.B) {
+	s, _, _ := benchWorld(b)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			snap := s.Snapshot()
+			if snap.Rules.Len() == 0 {
+				b.Fatal("empty rule view")
+			}
+		}
+	})
+}
+
+// BenchmarkRecommend measures a full read request: snapshot load, live
+// tuple fetch (relation RLock, not the engine lock), rule evaluation.
+func BenchmarkRecommend(b *testing.B) {
+	s, _, rel := benchWorld(b)
+	n := rel.Len()
+	b.ReportAllocs()
+	var ctr atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			idx := int(ctr.Add(1)) % n
+			if _, err := s.Recommend(idx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRecommendWhileWriting is the acceptance shape: concurrent
+// readers recommending while a writer continuously applies annotation
+// batches. Reader latency stays flat because a batch commit only swaps a
+// pointer.
+func BenchmarkRecommendWhileWriting(b *testing.B) {
+	s, _, rel := benchWorld(b)
+	dict := rel.Dictionary()
+	a := relation.MustAnnotation(dict, "Annot_A")
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		ctx := context.Background()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			idx := i % rel.Len()
+			if i%2 == 0 {
+				_, _ = s.AddAnnotations(ctx, []relation.AnnotationUpdate{{Index: idx, Annotation: a}})
+			} else {
+				_, _ = s.RemoveAnnotations(ctx, []relation.AnnotationUpdate{{Index: idx, Annotation: a}})
+			}
+		}
+	}()
+	n := rel.Len()
+	b.ReportAllocs()
+	var ctr atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			idx := int(ctr.Add(1)) % n
+			if _, err := s.Recommend(idx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-writerDone
+}
+
+// BenchmarkEngineRulesBaseline is the pre-serving-layer read path for
+// contrast: every call takes the engine mutex and deep-clones the rule set,
+// so parallel readers serialize on the lock and allocate per call.
+func BenchmarkEngineRulesBaseline(b *testing.B) {
+	_, eng, _ := benchWorld(b)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if eng.Rules().Len() == 0 {
+				b.Fatal("empty rule set")
+			}
+		}
+	})
+}
+
+// BenchmarkWriteThroughput measures coalesced write commits: many
+// goroutines submitting single-update batches that the writer loop merges.
+func BenchmarkWriteThroughput(b *testing.B) {
+	s, _, rel := benchWorld(b)
+	dict := rel.Dictionary()
+	a := relation.MustAnnotation(dict, "Annot_B")
+	n := rel.Len()
+	ctx := context.Background()
+	b.ReportAllocs()
+	var ctr atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			idx := int(i) % n
+			var err error
+			if i%2 == 0 {
+				_, err = s.AddAnnotations(ctx, []relation.AnnotationUpdate{{Index: idx, Annotation: a}})
+			} else {
+				_, err = s.RemoveAnnotations(ctx, []relation.AnnotationUpdate{{Index: idx, Annotation: a}})
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,475 @@
+// Package serve turns the incremental maintenance engine into a concurrent
+// serving core: a single-writer/many-reader wrapper in which readers work
+// exclusively against an atomically published immutable Snapshot and never
+// touch the engine's lock, while all mutations funnel through one writer
+// goroutine that coalesces concurrently submitted batches (the paper's
+// Cases 1–3 plus removal) into fewer engine applications and publishes a
+// fresh snapshot after each.
+//
+// The design follows the workload shape the paper implies but does not
+// build: many continuous "what correlates with X" / "what is tuple t
+// missing" queries against a rule set that is being maintained online.
+// Readers scale with GOMAXPROCS because a read is an atomic pointer load
+// plus work on immutable data; writers pay the engine's incremental
+// maintenance cost once per coalesced batch, not once per client call.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"annotadb/internal/incremental"
+	"annotadb/internal/predict"
+	"annotadb/internal/relation"
+	"annotadb/internal/rules"
+)
+
+// ErrClosed is returned by write methods after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Default tuning values; see Config.
+const (
+	DefaultBatchWindow = time.Millisecond
+	DefaultMaxBatch    = 4096
+	DefaultQueueDepth  = 128
+)
+
+// Config tunes the serving core.
+type Config struct {
+	// BatchWindow is how long the writer waits after the first pending
+	// update for more updates to coalesce before applying the batch.
+	// Zero means DefaultBatchWindow; negative disables waiting (each
+	// application still absorbs everything already queued).
+	BatchWindow time.Duration
+	// MaxBatch caps the number of individual updates (annotation
+	// attachments or tuples) coalesced into one engine application.
+	// Zero means DefaultMaxBatch.
+	MaxBatch int
+	// QueueDepth is the capacity of the pending-request channel; writers
+	// block (or honor their context) when it is full. Zero means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// Recommend filters the rules compiled into each snapshot's
+	// recommendation evaluator.
+	Recommend predict.Options
+}
+
+func (c Config) batchWindow() time.Duration {
+	if c.BatchWindow == 0 {
+		return DefaultBatchWindow
+	}
+	return c.BatchWindow
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch <= 0 {
+		return DefaultMaxBatch
+	}
+	return c.MaxBatch
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return DefaultQueueDepth
+	}
+	return c.QueueDepth
+}
+
+type opKind uint8
+
+const (
+	opAnnotations opKind = iota
+	opRemovals
+	opTuples
+)
+
+// reportCase maps a request kind to the update case its report carries.
+// Tuple batches report Case 2: an empty batch trivially has no annotations.
+func (k opKind) reportCase() incremental.Case {
+	switch k {
+	case opRemovals:
+		return incremental.CaseRemoveAnnotations
+	case opTuples:
+		return incremental.CaseUnannotatedTuples
+	default:
+		return incremental.CaseNewAnnotations
+	}
+}
+
+type result struct {
+	rep *incremental.Report
+	err error
+}
+
+type request struct {
+	kind    opKind
+	updates []relation.AnnotationUpdate // opAnnotations, opRemovals
+	tuples  []relation.Tuple            // opTuples
+	done    chan result                 // buffered(1); writer never blocks
+}
+
+func (r *request) size() int {
+	if r.kind == opTuples {
+		return len(r.tuples)
+	}
+	return len(r.updates)
+}
+
+// Server is the concurrent serving core. Construct with New; the zero value
+// is not usable. After New, the server owns the engine and its relation:
+// route every mutation through the server.
+type Server struct {
+	eng *incremental.Engine
+	rel *relation.Relation
+	cfg Config
+
+	snap atomic.Pointer[Snapshot]
+	seq  atomic.Uint64
+
+	reqs chan *request
+	quit chan struct{} // closed by Close
+	done chan struct{} // closed when the writer loop has drained and exited
+
+	closeOnce sync.Once
+
+	// counters
+	requests  atomic.Uint64 // write requests accepted into the queue
+	batches   atomic.Uint64 // engine applications
+	coalesced atomic.Uint64 // requests that shared an application with another
+	reads     atomic.Uint64 // snapshot loads
+}
+
+// New wraps eng in a serving core and starts its writer loop. The initial
+// snapshot is published before New returns, so reads are immediately valid.
+func New(eng *incremental.Engine, cfg Config) *Server {
+	s := &Server{
+		eng:  eng,
+		rel:  eng.Relation(),
+		cfg:  cfg,
+		reqs: make(chan *request, cfg.queueDepth()),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	s.publish()
+	go s.run()
+	return s
+}
+
+// Close stops the writer loop after draining already queued updates, waiting
+// up to ctx for the drain. Write calls racing with Close may fail with
+// ErrClosed. Close is idempotent; reads remain valid (and final) afterwards.
+func (s *Server) Close(ctx context.Context) error {
+	s.closeOnce.Do(func() { close(s.quit) })
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: close: %w", ctx.Err())
+	}
+}
+
+// --- read path -----------------------------------------------------------
+
+// Snapshot returns the current published snapshot: an atomic pointer load,
+// never nil, never blocked by writers.
+func (s *Server) Snapshot() *Snapshot {
+	s.reads.Add(1)
+	return s.snap.Load()
+}
+
+// Rules returns the current valid rules in deterministic order. The slice
+// is shared with the snapshot; callers must not modify it.
+func (s *Server) Rules() []rules.Rule {
+	return s.Snapshot().Rules.Sorted()
+}
+
+// Recommend evaluates the snapshot's rules against the tuple at position
+// idx. The tuple contents are read live from the relation (its own lock,
+// not the engine's): a tuple annotated after the snapshot was published is
+// evaluated as it is now, against the rules as they were published.
+func (s *Server) Recommend(idx int) ([]predict.Recommendation, error) {
+	tu, err := s.rel.Tuple(idx)
+	if err != nil {
+		return nil, err
+	}
+	return s.Snapshot().Compiled.ForTupleAt(tu, idx), nil
+}
+
+// RecommendIncoming evaluates a free-standing tuple (the paper's insert
+// trigger, §5 case 2) against the snapshot's rules.
+func (s *Server) RecommendIncoming(tu relation.Tuple) []predict.Recommendation {
+	return s.Snapshot().Compiled.ForTuple(tu)
+}
+
+// Stats reports serving counters plus the published snapshot's identity.
+type Stats struct {
+	// Snapshot identity.
+	Seq        uint64
+	N          int
+	RuleCount  int
+	MinCount   int
+	RelVersion uint64
+	// Server counters.
+	Requests  uint64 // write requests accepted
+	Batches   uint64 // engine applications after coalescing
+	Coalesced uint64 // requests that shared an application
+	Reads     uint64 // snapshot loads served
+	// Engine lifetime counters as of the snapshot.
+	Engine incremental.Stats
+}
+
+// Stats returns current serving statistics.
+func (s *Server) Stats() Stats {
+	snap := s.snap.Load()
+	return Stats{
+		Seq:        snap.Seq,
+		N:          snap.N,
+		RuleCount:  snap.Rules.Len(),
+		MinCount:   snap.MinCount,
+		RelVersion: snap.RelVersion,
+		Requests:   s.requests.Load(),
+		Batches:    s.batches.Load(),
+		Coalesced:  s.coalesced.Load(),
+		Reads:      s.reads.Load(),
+		Engine:     snap.EngineStats,
+	}
+}
+
+// --- write path ----------------------------------------------------------
+
+// AddAnnotations submits a Case 3 batch and waits for it to be applied.
+// The returned report covers the whole coalesced engine application the
+// batch rode in, which may include other clients' updates. Duplicate
+// attachments are skipped, not errors, matching the engine.
+//
+// The batch is validated up front so that a bad update cannot poison a
+// coalesced application: indexes must be in range now (the relation only
+// grows, so they stay in range) and items must be annotations.
+func (s *Server) AddAnnotations(ctx context.Context, updates []relation.AnnotationUpdate) (*incremental.Report, error) {
+	if err := s.validateUpdates(updates); err != nil {
+		return nil, err
+	}
+	return s.submit(ctx, &request{kind: opAnnotations, updates: updates})
+}
+
+// RemoveAnnotations submits an annotation-removal batch (the engine's
+// Case 3 in reverse) and waits for it to be applied. Entries whose
+// annotation is absent are skipped, not errors.
+func (s *Server) RemoveAnnotations(ctx context.Context, updates []relation.AnnotationUpdate) (*incremental.Report, error) {
+	if err := s.validateUpdates(updates); err != nil {
+		return nil, err
+	}
+	return s.submit(ctx, &request{kind: opRemovals, updates: updates})
+}
+
+// AddTuples submits a tuple batch and waits for it to be applied. The
+// writer routes the coalesced group through the paper's Case 1 path when
+// any tuple carries annotations and the cheaper Case 2 path when none do.
+func (s *Server) AddTuples(ctx context.Context, tuples []relation.Tuple) (*incremental.Report, error) {
+	return s.submit(ctx, &request{kind: opTuples, tuples: tuples})
+}
+
+func (s *Server) validateUpdates(updates []relation.AnnotationUpdate) error {
+	n := s.rel.Len()
+	for i, u := range updates {
+		if u.Index < 0 || u.Index >= n {
+			return fmt.Errorf("serve: update %d: %w: %d (relation has %d tuples)", i, relation.ErrTupleIndex, u.Index, n)
+		}
+		if !u.Annotation.IsAnnotation() {
+			return fmt.Errorf("serve: update %d: item %v is not an annotation", i, u.Annotation)
+		}
+	}
+	return nil
+}
+
+func (s *Server) submit(ctx context.Context, req *request) (*incremental.Report, error) {
+	if req.size() == 0 {
+		// Nothing to apply; answer without waking the writer, with the
+		// same Case the engine would stamp on an empty batch of this kind.
+		return &incremental.Report{Case: req.kind.reportCase()}, nil
+	}
+	req.done = make(chan result, 1)
+	select {
+	case <-s.quit:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case s.reqs <- req:
+	}
+	s.requests.Add(1)
+	select {
+	case res := <-req.done:
+		return res.rep, res.err
+	case <-ctx.Done():
+		// The update may still be applied by the writer; only the ack is
+		// abandoned (req.done is buffered, so the writer never blocks).
+		return nil, ctx.Err()
+	case <-s.done:
+		// Writer exited. A final drain may still have applied the request;
+		// prefer its real result when available.
+		select {
+		case res := <-req.done:
+			return res.rep, res.err
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// --- writer loop ---------------------------------------------------------
+
+func (s *Server) run() {
+	defer close(s.done)
+	for {
+		select {
+		case req := <-s.reqs:
+			s.apply(s.collect(req))
+		case <-s.quit:
+			s.drain()
+			return
+		}
+	}
+}
+
+// collect coalesces requests around first: everything already queued is
+// absorbed immediately, then the writer lingers for the batch window (if
+// any) to absorb stragglers, up to MaxBatch updates.
+func (s *Server) collect(first *request) []*request {
+	batch := []*request{first}
+	size := first.size()
+	max := s.cfg.maxBatch()
+	for size < max {
+		select {
+		case r := <-s.reqs:
+			batch = append(batch, r)
+			size += r.size()
+			continue
+		default:
+		}
+		break
+	}
+	window := s.cfg.batchWindow()
+	if window <= 0 || size >= max {
+		return batch
+	}
+	deadline := time.NewTimer(window)
+	defer deadline.Stop()
+	for size < max {
+		select {
+		case r := <-s.reqs:
+			batch = append(batch, r)
+			size += r.size()
+		case <-deadline.C:
+			return batch
+		case <-s.quit:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drain applies every request still queued at shutdown.
+func (s *Server) drain() {
+	for {
+		select {
+		case req := <-s.reqs:
+			s.apply(s.collect(req))
+		default:
+			return
+		}
+	}
+}
+
+// apply groups a coalesced batch into runs of like-kind requests (order
+// preserved) and applies each run as one engine call. The fresh snapshot is
+// published before any waiter is answered: an acknowledged write is
+// guaranteed visible to the writer's next snapshot read (read-your-writes).
+func (s *Server) apply(batch []*request) {
+	results := make([]result, 0, len(batch))
+	groups := make([][]*request, 0, len(batch))
+	for i := 0; i < len(batch); {
+		j := i + 1
+		for j < len(batch) && batch[j].kind == batch[i].kind {
+			j++
+		}
+		group := batch[i:j]
+		groups = append(groups, group)
+		results = append(results, s.applyGroup(batch[i].kind, group))
+		i = j
+	}
+	s.publish()
+	for gi, group := range groups {
+		for _, r := range group {
+			r.done <- results[gi]
+		}
+	}
+}
+
+func (s *Server) applyGroup(kind opKind, group []*request) result {
+	s.batches.Add(1)
+	if len(group) > 1 {
+		s.coalesced.Add(uint64(len(group)))
+	}
+	var (
+		rep *incremental.Report
+		err error
+	)
+	switch kind {
+	case opAnnotations, opRemovals:
+		var updates []relation.AnnotationUpdate
+		if len(group) == 1 {
+			updates = group[0].updates
+		} else {
+			for _, r := range group {
+				updates = append(updates, r.updates...)
+			}
+		}
+		if kind == opAnnotations {
+			rep, err = s.eng.AddAnnotations(updates)
+		} else {
+			rep, err = s.eng.RemoveAnnotations(updates)
+		}
+	case opTuples:
+		var tuples []relation.Tuple
+		if len(group) == 1 {
+			tuples = group[0].tuples
+		} else {
+			for _, r := range group {
+				tuples = append(tuples, r.tuples...)
+			}
+		}
+		annotated := false
+		for _, tu := range tuples {
+			if tu.Annotated() {
+				annotated = true
+				break
+			}
+		}
+		if annotated {
+			rep, err = s.eng.AddAnnotatedTuples(tuples)
+		} else {
+			rep, err = s.eng.AddUnannotatedTuples(tuples)
+		}
+	}
+	return result{rep: rep, err: err}
+}
+
+// publish captures the engine state (one lock acquisition) and swaps in a
+// new immutable snapshot.
+func (s *Server) publish() {
+	es := s.eng.Snapshot()
+	snap := &Snapshot{
+		Seq:         s.seq.Add(1),
+		N:           es.N,
+		MinCount:    es.MinCount,
+		RelVersion:  es.RelVersion,
+		EngineStats: es.Stats,
+		Rules:       es.Rules,
+		Compiled:    predict.Compile(es.Rules, s.cfg.Recommend),
+	}
+	s.snap.Store(snap)
+}

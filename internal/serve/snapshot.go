@@ -1,0 +1,30 @@
+package serve
+
+import (
+	"annotadb/internal/incremental"
+	"annotadb/internal/predict"
+	"annotadb/internal/rules"
+)
+
+// Snapshot is one published generation of serving state. Everything in it
+// is immutable, so a Snapshot may be read by any number of goroutines
+// without synchronization, and a reader that holds one observes a single
+// consistent generation no matter how many batches the writer applies
+// meanwhile. Seq gives downstream caches a cheap staleness key (the root
+// facade memoizes token-rendered rules per Seq).
+type Snapshot struct {
+	// Seq is the publish sequence number, strictly increasing.
+	Seq uint64
+	// N is the relation size the rules' denominators refer to.
+	N int
+	// MinCount is the absolute support threshold at publish time.
+	MinCount int
+	// RelVersion is the relation's mutation counter at publish time.
+	RelVersion uint64
+	// EngineStats are the engine lifetime counters at publish time.
+	EngineStats incremental.Stats
+	// Rules is the immutable valid rule set.
+	Rules *rules.View
+	// Compiled evaluates recommendations against Rules.
+	Compiled *predict.Compiled
+}

@@ -1,0 +1,199 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden round-trip coverage for the paper's two text formats. The inputs
+// exercise the messy edges — comment lines, blank lines, stray whitespace,
+// annotations in the middle of a tuple line — and the goldens pin the
+// canonical form the writer must emit. Canonical output must also be a
+// fixed point: re-reading a golden and writing it again reproduces it
+// byte for byte.
+
+func readTestdata(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestGoldenDatasetRoundTrip(t *testing.T) {
+	input := readTestdata(t, "figure4_input.txt")
+	golden := readTestdata(t, "figure4_golden.txt")
+
+	rel, err := ReadDataset(bytes.NewReader(input), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 4 {
+		t.Fatalf("parsed %d tuples, want 4 (comments and blank lines must be skipped)", rel.Len())
+	}
+
+	var out bytes.Buffer
+	if err := WriteDataset(&out, rel, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), golden) {
+		t.Errorf("canonical write diverges from golden:\n--- got ---\n%s--- want ---\n%s", out.Bytes(), golden)
+	}
+
+	// The golden is a fixed point of read-then-write.
+	rel2, err := ReadDataset(bytes.NewReader(golden), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 bytes.Buffer
+	if err := WriteDataset(&out2, rel2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out2.Bytes(), golden) {
+		t.Errorf("golden is not a fixed point:\n--- got ---\n%s--- want ---\n%s", out2.Bytes(), golden)
+	}
+
+	// Annotation placement is normalized, not preserved: the middle-of-line
+	// Annot_1 in the input landed after the data values.
+	if !strings.Contains(out.String(), "28 85 12 Annot_1\n") {
+		t.Errorf("mid-line annotation not normalized: %q", out.String())
+	}
+}
+
+func TestGoldenDatasetFileRoundTrip(t *testing.T) {
+	input := readTestdata(t, "figure4_input.txt")
+	golden := readTestdata(t, "figure4_golden.txt")
+
+	rel, err := ReadDataset(bytes.NewReader(input), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteDatasetFile(path, rel, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Errorf("atomic file write diverges from golden:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+	back, err := ReadDatasetFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rel.Len() {
+		t.Errorf("file round-trip lost tuples: %d -> %d", rel.Len(), back.Len())
+	}
+}
+
+func TestGoldenUpdateBatchRoundTrip(t *testing.T) {
+	input := readTestdata(t, "figure14_input.txt")
+	golden := readTestdata(t, "figure14_golden.txt")
+
+	lines, err := ReadUpdateBatch(bytes.NewReader(input), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []UpdateLine{
+		{Index: 0, Token: "Annot_2"},
+		{Index: 1, Token: "Annot_3"}, // whitespace around ':' is trimmed
+		{Index: 3, Token: "Annot_2"},
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("parsed %d update lines, want %d", len(lines), len(want))
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %+v, want %+v", i, lines[i], want[i])
+		}
+	}
+
+	var out bytes.Buffer
+	if err := WriteUpdateBatch(&out, lines); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), golden) {
+		t.Errorf("canonical write diverges from golden:\n--- got ---\n%s--- want ---\n%s", out.Bytes(), golden)
+	}
+
+	// Fixed point.
+	lines2, err := ReadUpdateBatch(bytes.NewReader(golden), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 bytes.Buffer
+	if err := WriteUpdateBatch(&out2, lines2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out2.Bytes(), golden) {
+		t.Errorf("golden is not a fixed point:\n--- got ---\n%s--- want ---\n%s", out2.Bytes(), golden)
+	}
+}
+
+func TestDatasetBlankAndCommentOnlyInputs(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"blank lines", "\n\n  \n\t\n"},
+		{"comments only", "# a\n# b\n"},
+		{"mixed", "\n# header\n\n   \n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rel, err := ReadDataset(strings.NewReader(tc.input), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel.Len() != 0 {
+				t.Errorf("parsed %d tuples from %q, want 0", rel.Len(), tc.input)
+			}
+		})
+	}
+}
+
+func TestUpdateBatchBlankAndCommentEdges(t *testing.T) {
+	lines, err := ReadUpdateBatch(strings.NewReader("\n# only comments\n\n"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 0 {
+		t.Errorf("parsed %d lines from comment-only batch, want 0", len(lines))
+	}
+
+	// Error positions must count skipped blank/comment lines.
+	_, err = ReadUpdateBatch(strings.NewReader("# header\n\n1:Annot_1\nbogus line\n"), Options{})
+	var perr *ParseError
+	if !errors.As(err, &perr) {
+		t.Fatalf("err = %v, want *ParseError", err)
+	}
+	if perr.Line != 4 {
+		t.Errorf("ParseError.Line = %d, want 4 (blank and comment lines still count)", perr.Line)
+	}
+}
+
+func TestDatasetAnnotationOnlyLine(t *testing.T) {
+	in := "28 85\nAnnot_1 Annot_2\n"
+	if _, err := ReadDataset(strings.NewReader(in), Options{}); err == nil {
+		t.Error("annotation-only line accepted without AllowEmptyTuples")
+	} else {
+		var perr *ParseError
+		if !errors.As(err, &perr) || perr.Line != 2 {
+			t.Errorf("err = %v, want ParseError at line 2", err)
+		}
+	}
+	rel, err := ReadDataset(strings.NewReader(in), Options{AllowEmptyTuples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Errorf("AllowEmptyTuples parsed %d tuples, want 2", rel.Len())
+	}
+}

@@ -1,0 +1,282 @@
+package annotadb
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"annotadb/internal/itemset"
+	"annotadb/internal/relation"
+	"annotadb/internal/serve"
+	"annotadb/internal/storage"
+)
+
+// ErrServerClosed is returned by Server write methods after Close. Callers
+// mapping it to a transport status should treat it as unavailability (the
+// process is shutting down), not as a request defect.
+var ErrServerClosed = serve.ErrClosed
+
+// ServeOptions configure a Server's write coalescing and recommendation
+// filtering.
+type ServeOptions struct {
+	// BatchWindow is how long the writer lingers after the first pending
+	// update to coalesce concurrent updates into one maintenance pass.
+	// Zero means the serving default (1ms); negative disables lingering
+	// (already-queued updates still coalesce).
+	BatchWindow time.Duration
+	// MaxBatch caps updates per coalesced maintenance pass (0 = default).
+	MaxBatch int
+	// QueueDepth bounds pending write requests (0 = default).
+	QueueDepth int
+	// Recommend filters the rules used to answer recommendation reads.
+	Recommend RecommendOptions
+}
+
+// Server serves rules and recommendations concurrently while annotations
+// and tuples stream in. Reads (Rules, Recommend*, Stats) work against an
+// atomically published immutable snapshot and never block behind writes;
+// writes are coalesced by a single writer goroutine and acknowledged after
+// the batch they rode in is applied and a fresh snapshot is published.
+//
+// NewServer takes ownership of the engine and its dataset: route every
+// mutation through the Server and treat direct Engine/Dataset calls as
+// read-only (their results may trail the serving snapshot by one batch).
+type Server struct {
+	ds   *Dataset
+	core *serve.Server
+
+	// rendered memoizes the token-rendered rules of one snapshot, so that
+	// serving GET /rules-style reads does not re-resolve dictionary tokens
+	// (each behind the dictionary's lock) for every request.
+	rendered atomic.Pointer[renderedRules]
+}
+
+// renderedRules caches the public rules of the snapshot with sequence seq.
+type renderedRules struct {
+	seq   uint64
+	rules []Rule
+}
+
+// NewServer wraps an engine in a serving core and starts its writer loop.
+func NewServer(e *Engine, opts ServeOptions) *Server {
+	return &Server{
+		ds: e.ds,
+		core: serve.New(e.eng, serve.Config{
+			BatchWindow: opts.BatchWindow,
+			MaxBatch:    opts.MaxBatch,
+			QueueDepth:  opts.QueueDepth,
+			Recommend:   opts.Recommend.internal(),
+		}),
+	}
+}
+
+// Close drains queued updates and stops the writer loop, waiting up to ctx.
+// Reads remain valid (and final) after Close; writes fail with an error.
+func (s *Server) Close(ctx context.Context) error { return s.core.Close(ctx) }
+
+// Dataset returns the served dataset (treat as read-only).
+func (s *Server) Dataset() *Dataset { return s.ds }
+
+// Rules returns the current snapshot's valid rules, deterministically
+// ordered, without taking the maintenance engine's lock. The slice is
+// rendered once per snapshot and shared between callers; treat it as
+// read-only.
+func (s *Server) Rules() []Rule {
+	snap := s.core.Snapshot()
+	if c := s.rendered.Load(); c != nil && c.seq == snap.Seq {
+		return c.rules
+	}
+	dict := s.ds.rel.Dictionary()
+	sorted := snap.Rules.Sorted()
+	out := make([]Rule, len(sorted))
+	for i, r := range sorted {
+		out[i] = publicRule(r, dict)
+	}
+	// Racing renders of the same snapshot produce identical slices; the
+	// CAS loop guarantees a newer snapshot's cache is never replaced by an
+	// older render.
+	fresh := &renderedRules{seq: snap.Seq, rules: out}
+	for {
+		c := s.rendered.Load()
+		if c != nil && c.seq >= snap.Seq {
+			break
+		}
+		if s.rendered.CompareAndSwap(c, fresh) {
+			break
+		}
+	}
+	return out
+}
+
+// Recommend evaluates the snapshot's rules against the tuple at zero-based
+// position idx, reading the tuple's current contents.
+func (s *Server) Recommend(idx int) ([]Recommendation, error) {
+	recs, err := s.core.Recommend(idx)
+	if err != nil {
+		return nil, err
+	}
+	return publicRecommendations(recs, s.ds.rel.Dictionary()), nil
+}
+
+// RecommendForTuple evaluates a not-yet-inserted tuple against the
+// snapshot's rules (the paper's insert-trigger exploitation). As a pure
+// read it never grows the dictionary: tokens the dataset has never seen
+// are ignored, which cannot change the outcome — an unknown token cannot
+// appear in any rule's LHS or RHS.
+func (s *Server) RecommendForTuple(spec TupleSpec) ([]Recommendation, error) {
+	dict := s.ds.rel.Dictionary()
+	items := make([]itemset.Item, 0, len(spec.Values)+len(spec.Annotations))
+	for _, tok := range spec.Values {
+		if it, ok := dict.Lookup(tok); ok {
+			items = append(items, it)
+		}
+	}
+	for _, tok := range spec.Annotations {
+		if it, ok := dict.Lookup(tok); ok {
+			items = append(items, it)
+		}
+	}
+	tu := relation.NewTuple(items...)
+	return publicRecommendations(s.core.RecommendIncoming(tu), dict), nil
+}
+
+// AddAnnotations submits a Case 3 batch and waits until it is applied and
+// visible in the snapshot. The report covers the whole coalesced batch the
+// updates rode in, which may include other callers' updates.
+//
+// Indexes are validated before any token is interned, so a rejected batch
+// cannot grow the shared dictionary (which would let bad requests leak
+// permanent state).
+func (s *Server) AddAnnotations(ctx context.Context, batch []AnnotationUpdate) (UpdateReport, error) {
+	if err := s.validateIndexes(batch); err != nil {
+		return UpdateReport{}, err
+	}
+	dict := s.ds.rel.Dictionary()
+	updates := make([]relation.AnnotationUpdate, 0, len(batch))
+	for i, u := range batch {
+		it, err := dict.InternAnnotation(u.Annotation)
+		if err != nil {
+			return UpdateReport{}, fmt.Errorf("annotadb: update %d: %w", i, err)
+		}
+		updates = append(updates, relation.AnnotationUpdate{Index: u.Tuple, Annotation: it})
+	}
+	rep, err := s.core.AddAnnotations(ctx, updates)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	return publicReport(rep), nil
+}
+
+// validateIndexes rejects out-of-range tuple positions up front. The
+// relation only grows, so an index valid here stays valid at apply time.
+func (s *Server) validateIndexes(batch []AnnotationUpdate) error {
+	n := s.ds.rel.Len()
+	for i, u := range batch {
+		if u.Tuple < 0 || u.Tuple >= n {
+			return fmt.Errorf("annotadb: update %d: %w: %d (relation has %d tuples)", i, relation.ErrTupleIndex, u.Tuple, n)
+		}
+	}
+	return nil
+}
+
+// RemoveAnnotations submits an annotation-removal batch and waits until it
+// is applied. Entries whose annotation is absent are skipped and reported.
+func (s *Server) RemoveAnnotations(ctx context.Context, batch []AnnotationUpdate) (UpdateReport, error) {
+	dict := s.ds.rel.Dictionary()
+	updates := make([]relation.AnnotationUpdate, 0, len(batch))
+	for i, u := range batch {
+		it, ok := dict.Lookup(u.Annotation)
+		if !ok {
+			return UpdateReport{}, fmt.Errorf("annotadb: removal %d: annotation %q unknown to this dataset", i, u.Annotation)
+		}
+		if !it.IsAnnotation() {
+			return UpdateReport{}, fmt.Errorf("annotadb: removal %d: token %q is a data value", i, u.Annotation)
+		}
+		updates = append(updates, relation.AnnotationUpdate{Index: u.Tuple, Annotation: it})
+	}
+	rep, err := s.core.RemoveAnnotations(ctx, updates)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	return publicReport(rep), nil
+}
+
+// AddTuples submits a tuple batch and waits until it is applied. The batch
+// takes the paper's Case 1 path when any tuple carries annotations and the
+// cheaper Case 2 path when none do.
+func (s *Server) AddTuples(ctx context.Context, batch []TupleSpec) (UpdateReport, error) {
+	dict := s.ds.rel.Dictionary()
+	tuples := make([]relation.Tuple, 0, len(batch))
+	for i, spec := range batch {
+		tu, err := buildTuple(dict, spec.Values, spec.Annotations)
+		if err != nil {
+			return UpdateReport{}, fmt.Errorf("annotadb: tuple %d: %w", i, err)
+		}
+		tuples = append(tuples, tu)
+	}
+	rep, err := s.core.AddTuples(ctx, tuples)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	return publicReport(rep), nil
+}
+
+// ApplyUpdateFile reads a Figure 14-format annotation batch and submits it.
+// Like AddAnnotations, indexes are validated before tokens are interned.
+func (s *Server) ApplyUpdateFile(ctx context.Context, r io.Reader) (UpdateReport, error) {
+	lines, err := storage.ReadUpdateBatch(r, storage.Options{})
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	n := s.ds.rel.Len()
+	for _, u := range lines {
+		if u.Index < 0 || u.Index >= n {
+			return UpdateReport{}, fmt.Errorf("annotadb: update %d:%s: %w (relation has %d tuples)", u.Index+1, u.Token, relation.ErrTupleIndex, n)
+		}
+	}
+	updates, err := storage.ResolveUpdates(s.ds.rel, lines)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	rep, err := s.core.AddAnnotations(ctx, updates)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	return publicReport(rep), nil
+}
+
+// ServerStats reports serving activity and the published snapshot.
+type ServerStats struct {
+	// SnapshotSeq is the publish sequence number of the current snapshot.
+	SnapshotSeq uint64
+	// Tuples is the relation size the snapshot's rules refer to.
+	Tuples int
+	// RuleCount is the number of valid rules in the snapshot.
+	RuleCount int
+	// Requests, Batches, Coalesced, Reads are serving counters: write
+	// requests accepted, engine applications after coalescing, requests
+	// that shared an application, and snapshot reads served.
+	Requests  uint64
+	Batches   uint64
+	Coalesced uint64
+	Reads     uint64
+	// Remines counts fallbacks to a full re-mine over the server's life.
+	Remines int
+}
+
+// Stats returns current serving statistics.
+func (s *Server) Stats() ServerStats {
+	st := s.core.Stats()
+	return ServerStats{
+		SnapshotSeq: st.Seq,
+		Tuples:      st.N,
+		RuleCount:   st.RuleCount,
+		Requests:    st.Requests,
+		Batches:     st.Batches,
+		Coalesced:   st.Coalesced,
+		Reads:       st.Reads,
+		Remines:     st.Engine.Remines,
+	}
+}

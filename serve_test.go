@@ -1,0 +1,227 @@
+package annotadb
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func serveFixture(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := ReadDataset(strings.NewReader(`28 85 99 Annot_1 Annot_5
+28 85 12 Annot_1 Annot_5
+28 85 40 Annot_1 Annot_5
+28 85 41 Annot_1
+28 85 Annot_1
+28 41
+41 85 Annot_5
+62 12
+62 40
+99 12
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func newTestServer(t *testing.T, opts ServeOptions) *Server {
+	t.Helper()
+	ds := serveFixture(t)
+	eng, err := NewEngine(ds, Options{MinSupport: 0.3, MinConfidence: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(eng, opts)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return srv
+}
+
+func TestServerRulesMatchEngineBootstrap(t *testing.T) {
+	srv := newTestServer(t, ServeOptions{})
+	rules := srv.Rules()
+	if len(rules) == 0 {
+		t.Fatal("server has no rules")
+	}
+	found := false
+	for _, r := range rules {
+		if r.RHS == "Annot_1" && len(r.LHS) == 2 && r.LHS[0] == "28" && r.LHS[1] == "85" {
+			found = true
+			if r.PatternCount != 5 || r.LHSCount != 5 || r.N != 10 {
+				t.Errorf("{28,85}=>Annot_1 counts = %d/%d/%d, want 5/5/10", r.PatternCount, r.LHSCount, r.N)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("{28,85}=>Annot_1 missing from %v", rules)
+	}
+}
+
+func TestServerRulesMemoizedPerSnapshot(t *testing.T) {
+	srv := newTestServer(t, ServeOptions{BatchWindow: -1})
+	a := srv.Rules()
+	b := srv.Rules()
+	if len(a) == 0 {
+		t.Fatal("no rules")
+	}
+	if &a[0] != &b[0] {
+		t.Error("Rules() re-rendered within one snapshot instead of memoizing")
+	}
+	if _, err := srv.AddAnnotations(context.Background(), []AnnotationUpdate{{Tuple: 5, Annotation: "Annot_1"}}); err != nil {
+		t.Fatal(err)
+	}
+	c := srv.Rules()
+	for _, r := range c {
+		if r.N != 10 {
+			t.Errorf("post-write rules carry N = %d, want 10 (Case 3 keeps N)", r.N)
+		}
+	}
+	if len(c) > 0 && len(a) > 0 && &c[0] == &a[0] {
+		t.Error("Rules() served a stale cache after the snapshot advanced")
+	}
+}
+
+func TestServerWriteReadCycle(t *testing.T) {
+	srv := newTestServer(t, ServeOptions{BatchWindow: -1})
+	ctx := context.Background()
+
+	before := srv.Stats()
+	rep, err := srv.AddAnnotations(ctx, []AnnotationUpdate{{Tuple: 5, Annotation: "Annot_1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied != 1 {
+		t.Errorf("Applied = %d, want 1", rep.Applied)
+	}
+	after := srv.Stats()
+	if after.SnapshotSeq <= before.SnapshotSeq {
+		t.Error("snapshot did not advance after a write")
+	}
+
+	rep, err = srv.AddTuples(ctx, []TupleSpec{{Values: []string{"28", "85"}, Annotations: []string{"Annot_1"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Operation != "case1-annotated-tuples" {
+		t.Errorf("Operation = %q", rep.Operation)
+	}
+	if srv.Stats().Tuples != 11 {
+		t.Errorf("Tuples = %d, want 11", srv.Stats().Tuples)
+	}
+
+	rep, err = srv.RemoveAnnotations(ctx, []AnnotationUpdate{{Tuple: 5, Annotation: "Annot_1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied != 1 {
+		t.Errorf("removal Applied = %d, want 1", rep.Applied)
+	}
+	if _, err := srv.RemoveAnnotations(ctx, []AnnotationUpdate{{Tuple: 0, Annotation: "NeverSeen"}}); err == nil {
+		t.Error("removal of unknown annotation token succeeded")
+	}
+}
+
+func TestServerRecommendAndTrigger(t *testing.T) {
+	srv := newTestServer(t, ServeOptions{})
+	// Tuple 6 = {41,85}+Annot_5: Annot_5=>Annot_1 (conf 4/5) applies.
+	recs, err := srv.Recommend(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range recs {
+		if r.Annotation == "Annot_1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tuple 6 recommendations missing Annot_1: %v", recs)
+	}
+
+	recs, err = srv.RecommendForTuple(TupleSpec{Values: []string{"28", "85"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[0].Tuple != -1 {
+		t.Fatalf("incoming-tuple recommendations = %v", recs)
+	}
+
+	// A read with never-seen tokens must not grow the dictionary (reads
+	// would otherwise leak permanent state) and must answer as if the
+	// unknown tokens were absent.
+	before := srv.Dataset().rel.Dictionary().Len()
+	recs2, err := srv.RecommendForTuple(TupleSpec{Values: []string{"28", "85", "never-seen"}, Annotations: []string{"Annot_unknown"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Dataset().rel.Dictionary().Len(); got != before {
+		t.Errorf("read-path recommendation grew the dictionary: %d -> %d", before, got)
+	}
+	if len(recs2) != len(recs) {
+		t.Errorf("unknown tokens changed the outcome: %v vs %v", recs2, recs)
+	}
+}
+
+func TestServerRejectedWritesDoNotGrowDictionary(t *testing.T) {
+	srv := newTestServer(t, ServeOptions{BatchWindow: -1})
+	ctx := context.Background()
+	before := srv.Dataset().rel.Dictionary().Len()
+	if _, err := srv.AddAnnotations(ctx, []AnnotationUpdate{{Tuple: 99999, Annotation: "Annot_leak"}}); err == nil {
+		t.Fatal("out-of-range batch succeeded")
+	}
+	if _, err := srv.ApplyUpdateFile(ctx, strings.NewReader("99999:Annot_leak2\n")); err == nil {
+		t.Fatal("out-of-range update file succeeded")
+	}
+	if got := srv.Dataset().rel.Dictionary().Len(); got != before {
+		t.Errorf("rejected writes grew the dictionary: %d -> %d", before, got)
+	}
+}
+
+func TestServerApplyUpdateFile(t *testing.T) {
+	srv := newTestServer(t, ServeOptions{BatchWindow: -1})
+	rep, err := srv.ApplyUpdateFile(context.Background(), strings.NewReader("6:Annot_1\n8:Annot_5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied != 2 {
+		t.Errorf("Applied = %d, want 2", rep.Applied)
+	}
+}
+
+func TestServerConcurrentFacadeAccess(t *testing.T) {
+	srv := newTestServer(t, ServeOptions{BatchWindow: 100 * time.Microsecond})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if w%2 == 0 {
+					if _, err := srv.AddAnnotations(ctx, []AnnotationUpdate{{Tuple: 5 + (i % 5), Annotation: "Annot_1"}}); err != nil {
+						t.Errorf("writer %d: %v", w, err)
+						return
+					}
+				} else {
+					if len(srv.Rules()) == 0 {
+						t.Errorf("reader %d: empty rules", w)
+						return
+					}
+					if _, err := srv.Recommend(i % 10); err != nil {
+						t.Errorf("reader %d: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
