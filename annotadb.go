@@ -1,27 +1,39 @@
-// Package annotadb discovers and maintains correlations in annotated
-// databases. It is a Go implementation of "Discovering Correlations in
-// Annotated Databases" (Donohue, advised by Eltabakh; WPI 2015 / EDBT 2016):
-// association rules whose right-hand side is an annotation are mined from an
-// annotated relation, kept incrementally up to date as tuples and
-// annotations arrive, and exploited to recommend missing annotations.
+// Package annotadb discovers, maintains, serves, and persists correlations
+// in annotated databases. It is a Go implementation — grown into an online
+// system — of "Discovering Correlations in Annotated Databases" (Donohue,
+// advised by Eltabakh; WPI 2015 / EDBT 2016): association rules whose
+// right-hand side is an annotation are mined from an annotated relation,
+// kept incrementally exact as tuples and annotations arrive, and exploited
+// to recommend missing annotations.
 //
-// The package exposes four building blocks:
+// # Building blocks
 //
 //   - Dataset: an annotated relation, loadable from the paper's text format
-//     (one tuple per line, Annot_-prefixed tokens are annotations);
+//     (Figure 4: one tuple per line, Annot_-prefixed tokens are
+//     annotations);
 //   - Mine: one-shot rule discovery (data-to-annotation and
 //     annotation-to-annotation families, via Apriori or FP-Growth);
-//   - Engine: incremental maintenance — rules stay exact while annotated
-//     tuples, un-annotated tuples, and annotation batches are applied
-//     (the paper's Cases 1–3);
-//   - Recommender: rule-backed suggestions of missing annotations, both as
-//     database scans and as insert triggers.
+//   - Engine: incremental maintenance — rules stay exactly equal to a full
+//     re-mine while annotated tuples (Case 1), un-annotated tuples
+//     (Case 2), annotation batches (Case 3, Figure 14), and annotation
+//     removals are applied;
+//   - Recommend*: rule-backed suggestions of missing annotations, as
+//     database scans and as insert triggers (§5);
+//   - Server (NewServer): a concurrent serving core — reads answer from an
+//     atomically published immutable snapshot and never block behind
+//     writes, writes are coalesced by a single writer; cmd/annotserve puts
+//     it on HTTP;
+//   - OpenDurable: the persistent form of the above — every update batch
+//     is write-ahead logged and the mined state is checkpointed, so a
+//     restart recovers in time proportional to the un-checkpointed tail
+//     instead of re-mining the relation.
 //
-// Generalization rules ("Annot_X : Annot_1, Annot_5") can be applied to a
-// Dataset or routed through an Engine, extending the database with concept
-// labels so correlations hidden by raw-annotation variance become minable.
+// Generalization rules ("Annot_X : Annot_1, Annot_5", Figure 9) can be
+// applied to a Dataset or routed through an Engine, extending the database
+// with concept labels so correlations hidden by raw-annotation variance
+// become minable.
 //
-// A minimal session:
+// # A minimal session
 //
 //	ds, _ := annotadb.LoadDataset("dataset.txt")
 //	eng, _ := annotadb.NewEngine(ds, annotadb.Options{MinSupport: 0.4, MinConfidence: 0.8})
@@ -32,6 +44,24 @@
 //	for _, rec := range eng.RecommendAll(annotadb.RecommendOptions{}) {
 //		fmt.Println(rec)
 //	}
+//
+// And the durable serving form of the same loop:
+//
+//	eng, rec, _ := annotadb.OpenDurable("dataset.txt", annotadb.Options{MinSupport: 0.4, MinConfidence: 0.8},
+//		annotadb.DurabilityOptions{Dir: "./annotdata"})
+//	srv := annotadb.NewServer(eng, annotadb.ServeOptions{})
+//	defer srv.Close(context.Background())
+//	srv.AddAnnotations(ctx, batch) // write-ahead logged, applied, published
+//
+// The runnable Example functions in this package exercise both paths.
+//
+// # Where things live
+//
+// ARCHITECTURE.md at the repository root maps every package to the paper
+// section it implements and describes the serving and durability designs;
+// cmd/annotserve/README.md documents the HTTP API with curl examples. The
+// exported API of this module is doc-commented throughout and enforced by
+// the docs lint (internal/docs).
 package annotadb
 
 import (
@@ -48,6 +78,7 @@ import (
 	"annotadb/internal/relation"
 	"annotadb/internal/rules"
 	"annotadb/internal/storage"
+	"annotadb/internal/wal"
 )
 
 // AnnotationPrefix is the token prefix that marks annotations in dataset
@@ -342,18 +373,27 @@ type TupleSpec struct {
 type Engine struct {
 	ds  *Dataset
 	eng *incremental.Engine
+	// store is the durable backing store when the engine came from
+	// OpenDurable; NewServer wires it into the serving writer's journal.
+	store *wal.Store
+}
+
+// incrementalOptions maps public Options to engine internals.
+func incrementalOptions(opts Options) incremental.Options {
+	return incremental.Options{
+		DisableCandidateStore: opts.CandidateSlack >= 1,
+	}
 }
 
 // NewEngine mines the dataset once and returns an engine that keeps the
-// result exact under updates.
+// result exact under updates. The engine is purely in-memory; use
+// OpenDurable for one whose serving state survives restarts.
 func NewEngine(d *Dataset, opts Options) (*Engine, error) {
 	cfg, err := opts.internal()
 	if err != nil {
 		return nil, err
 	}
-	eng, err := incremental.New(d.rel, cfg, incremental.Options{
-		DisableCandidateStore: opts.CandidateSlack >= 1,
-	})
+	eng, err := incremental.New(d.rel, cfg, incrementalOptions(opts))
 	if err != nil {
 		return nil, err
 	}

@@ -10,8 +10,17 @@
 //	annotserve -data dataset.txt [-addr :8080] [-min-support 0.4]
 //	           [-min-confidence 0.8] [-algorithm apriori]
 //	           [-batch-window 1ms]
+//	           [-data-dir ./annotdata] [-fsync always]
+//	           [-checkpoint-bytes 4194304] [-checkpoint-age 0]
 //
-// Endpoints:
+// With -data-dir the serving state is durable: every update batch is
+// write-ahead logged before it is applied and the full mined state is
+// checkpointed on a size/age policy, so a restart recovers from
+// checkpoint + log tail instead of re-mining the dataset (-data is then
+// only needed the first time, to seed an empty directory).
+//
+// Endpoints (see README.md in this directory for curl examples and the
+// error schema):
 //
 //	GET  /rules        current rules (?kind=, ?limit=)
 //	GET  /recommend    ?tuple=N (zero-based) — missing-annotation
@@ -22,11 +31,14 @@
 //	                   the paper's Figure 14 format ("150:Annot_3", 1-based)
 //	POST /tuples       append tuples: JSON
 //	                   {"tuples":[{"values":["28","85"],"annotations":[]}]}
-//	GET  /stats        serving and dataset statistics
+//	GET  /stats        serving, dataset, and durability statistics
 //	GET  /healthz      liveness probe
 //
+// Errors are structured JSON: {"error":{"code":"...","message":"..."}}.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// finish, queued update batches drain, and the listener closes.
+// finish, queued update batches drain, a durable server writes a final
+// checkpoint, and the listener closes.
 package main
 
 import (
@@ -71,6 +83,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		recMinSup     = fs.Float64("rec-min-support", 0, "extra support filter on recommendation rules")
 		recLimit      = fs.Int("rec-limit", 0, "cap recommendations per query (0 = unbounded)")
 		drainTimeout  = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+		dataDir       = fs.String("data-dir", "", "durable store directory (WAL + checkpoints); empty serves in memory only")
+		fsyncPolicy   = fs.String("fsync", "always", "WAL fsync policy: always, interval, or never")
+		fsyncInterval = fs.Duration("fsync-interval", 0, "fsync cadence under -fsync interval (0 = 100ms)")
+		ckptBytes     = fs.Int64("checkpoint-bytes", 0, "checkpoint when the WAL reaches this size (0 = 4MiB, negative disables)")
+		ckptAge       = fs.Duration("checkpoint-age", 0, "checkpoint when the oldest un-checkpointed record is this old (0 disables)")
+		walEncoding   = fs.String("wal-encoding", "binary", "WAL record encoding: binary or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -78,21 +96,54 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		return err
 	}
-	if *data == "" {
-		return errors.New("missing required -data flag")
+	if *data == "" && *dataDir == "" {
+		return errors.New("missing required -data flag (or -data-dir with an existing checkpoint)")
+	}
+	if *data == "" && !annotadb.HasDurableState(*dataDir) {
+		// Without this guard a mistyped -data-dir would quietly bootstrap
+		// and serve an empty dataset.
+		return fmt.Errorf("data dir %s holds no checkpoint; pass -data to seed it", *dataDir)
 	}
 
-	ds, err := annotadb.LoadDataset(*data)
-	if err != nil {
-		return err
-	}
-	eng, err := annotadb.NewEngine(ds, annotadb.Options{
+	opts := annotadb.Options{
 		MinSupport:    *minSupport,
 		MinConfidence: *minConfidence,
 		Algorithm:     *algorithm,
-	})
-	if err != nil {
-		return err
+	}
+	var (
+		eng *annotadb.Engine
+		err error
+	)
+	if *dataDir != "" {
+		var rec annotadb.RecoveryReport
+		eng, rec, err = annotadb.OpenDurable(*data, opts, annotadb.DurabilityOptions{
+			Dir:             *dataDir,
+			Fsync:           *fsyncPolicy,
+			FsyncInterval:   *fsyncInterval,
+			CheckpointBytes: *ckptBytes,
+			CheckpointAge:   *ckptAge,
+			Encoding:        *walEncoding,
+		})
+		if err != nil {
+			return err
+		}
+		if rec.FromCheckpoint {
+			fmt.Fprintf(stdout, "annotserve: recovered %s in %.3fs (%d log records replayed, torn tail: %v)\n",
+				*dataDir, rec.DurationSeconds, rec.RecordsReplayed, rec.TornTail)
+		} else {
+			fmt.Fprintf(stdout, "annotserve: bootstrapped %s in %.3fs (first checkpoint written)\n",
+				*dataDir, rec.DurationSeconds)
+		}
+	} else {
+		var ds *annotadb.Dataset
+		ds, err = annotadb.LoadDataset(*data)
+		if err != nil {
+			return err
+		}
+		eng, err = annotadb.NewEngine(ds, opts)
+		if err != nil {
+			return err
+		}
 	}
 	srv := annotadb.NewServer(eng, annotadb.ServeOptions{
 		BatchWindow: *batchWindow,
@@ -107,9 +158,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	source := *data
+	if *dataDir != "" {
+		source = *dataDir
+	}
 	st := srv.Stats()
 	fmt.Fprintf(stdout, "annotserve: serving %s (%d tuples, %d rules) on http://%s\n",
-		*data, st.Tuples, st.RuleCount, ln.Addr())
+		source, st.Tuples, st.RuleCount, ln.Addr())
 
 	hs := &http.Server{Handler: newHandler(srv)}
 	serveErr := make(chan error, 1)
@@ -214,21 +269,42 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// Error codes of the structured error schema. Every non-2xx response has
+// the body {"error":{"code":"<one of these>","message":"..."}}; the code is
+// a stable machine-readable classification, the message is human-readable
+// detail.
+const (
+	codeInvalidArgument = "invalid_argument"  // 400: malformed request or bad batch
+	codeNotFound        = "not_found"         // 404: tuple index out of range
+	codeTooLarge        = "payload_too_large" // 413: body over the byte budget
+	codeInternal        = "internal"          // 500: server-side write failure (e.g. WAL disk); retryable
+	codeUnavailable     = "unavailable"       // 503: shutting down / request canceled
+)
+
+// errorJSON is the wire form of the structured error schema.
+type errorJSON struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]errorJSON{"error": {Code: code, Message: err.Error()}})
 }
 
 // writeUpdateError maps write-path failures to statuses: shutdown and
 // cancellation are availability problems (503, safe to retry elsewhere),
-// everything else is a request defect (400).
+// a journal failure is a server-side fault (500, the request was valid and
+// may be retried), and everything else is a request defect (400).
 func writeUpdateError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, annotadb.ErrServerClosed),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, http.StatusServiceUnavailable, codeUnavailable, err)
+	case errors.Is(err, annotadb.ErrJournal):
+		writeError(w, http.StatusInternalServerError, codeInternal, err)
 	default:
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, err)
 	}
 }
 
@@ -242,17 +318,17 @@ const maxBodyBytes = 16 << 20
 func writeBodyError(w http.ResponseWriter, err error) {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
-		writeError(w, http.StatusRequestEntityTooLarge, err)
+		writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge, err)
 		return
 	}
-	writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	writeError(w, http.StatusBadRequest, codeInvalidArgument, fmt.Errorf("bad request body: %w", err))
 }
 
 func (a *api) rules(w http.ResponseWriter, r *http.Request) {
 	rules := a.srv.Rules()
 	if kind := r.URL.Query().Get("kind"); kind != "" {
 		if kind != string(annotadb.DataToAnnotation) && kind != string(annotadb.AnnotationToAnnotation) {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown kind %q", kind))
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, fmt.Errorf("unknown kind %q", kind))
 			return
 		}
 		filtered := rules[:0:0]
@@ -266,7 +342,7 @@ func (a *api) rules(w http.ResponseWriter, r *http.Request) {
 	if limitStr := r.URL.Query().Get("limit"); limitStr != "" {
 		limit, err := strconv.Atoi(limitStr)
 		if err != nil || limit < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", limitStr))
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, fmt.Errorf("bad limit %q", limitStr))
 			return
 		}
 		if limit < len(rules) {
@@ -283,17 +359,17 @@ func (a *api) rules(w http.ResponseWriter, r *http.Request) {
 func (a *api) recommend(w http.ResponseWriter, r *http.Request) {
 	tupleStr := r.URL.Query().Get("tuple")
 	if tupleStr == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing tuple query parameter (zero-based tuple position)"))
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, errors.New("missing tuple query parameter (zero-based tuple position)"))
 		return
 	}
 	idx, err := strconv.Atoi(tupleStr)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tuple index %q", tupleStr))
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, fmt.Errorf("bad tuple index %q", tupleStr))
 		return
 	}
 	recs, err := a.srv.Recommend(idx)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, codeNotFound, err)
 		return
 	}
 	out := make([]recommendationJSON, len(recs))
@@ -385,7 +461,7 @@ func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 	for _, ac := range annots {
 		attachments += ac.Count
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"snapshot_seq":         st.SnapshotSeq,
 		"tuples":               st.Tuples,
 		"rule_count":           st.RuleCount,
@@ -396,7 +472,26 @@ func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 		"remines":              st.Remines,
 		"attachments":          attachments,
 		"distinct_annotations": len(annots),
-	})
+	}
+	if d := a.srv.Durability(); d != nil {
+		durability := map[string]any{
+			"records_appended":     d.RecordsAppended,
+			"log_bytes":            d.LogBytes,
+			"syncs":                d.Syncs,
+			"checkpoints":          d.Checkpoints,
+			"checkpoint_errors":    d.CheckpointErrors,
+			"recovered":            d.Recovery.FromCheckpoint,
+			"records_replayed":     d.Recovery.RecordsReplayed,
+			"torn_tail":            d.Recovery.TornTail,
+			"recovery_seconds":     d.Recovery.DurationSeconds,
+			"last_checkpoint_unix": float64(0),
+		}
+		if d.LastCheckpointUnixNano != 0 {
+			durability["last_checkpoint_unix"] = float64(d.LastCheckpointUnixNano) / float64(time.Second)
+		}
+		body["durability"] = durability
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (a *api) healthz(w http.ResponseWriter, r *http.Request) {

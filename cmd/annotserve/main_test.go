@@ -429,39 +429,11 @@ func (b *syncBuffer) String() string {
 }
 
 func TestRunStartsAndShutsDownGracefully(t *testing.T) {
-	path := writeDataset(t)
-	ctx, cancel := context.WithCancel(context.Background())
-	out := &syncBuffer{}
-	done := make(chan error, 1)
-	go func() {
-		done <- run(ctx, []string{"-data", path, "-addr", "127.0.0.1:0", "-min-support", "0.3", "-min-confidence", "0.7"}, out)
-	}()
-	// Wait for the listener announcement.
-	deadline := time.Now().Add(10 * time.Second)
-	var url string
-	for time.Now().Before(deadline) {
-		s := out.String()
-		if i := strings.Index(s, "http://"); i >= 0 {
-			url = strings.TrimSpace(s[i:strings.IndexByte(s[i:], '\n')+i])
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	if url == "" {
-		t.Fatalf("server never announced its address; output: %q", out.String())
-	}
+	url, out, cancel, done := startRun(t, []string{"-data", writeDataset(t), "-addr", "127.0.0.1:0", "-min-support", "0.3", "-min-confidence", "0.7"})
 	if code := getJSON(t, url+"/healthz", nil); code != http.StatusOK {
 		t.Fatalf("GET /healthz = %d", code)
 	}
-	cancel()
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("run returned %v", err)
-		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("run did not shut down after context cancellation")
-	}
+	stopRun(t, cancel, done)
 	if !strings.Contains(out.String(), "shutting down") {
 		t.Errorf("missing shutdown message in output: %q", out.String())
 	}
@@ -484,5 +456,196 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	path := writeDataset(t)
 	if err := run(context.Background(), []string{"-data", path, "-algorithm", "bogus"}, out); err == nil {
 		t.Error("run with bogus algorithm succeeded")
+	}
+}
+
+// startRun launches run() with args and waits for the listener announcement,
+// returning the base URL, the output buffer, a cancel func, and run's error
+// channel.
+func startRun(t *testing.T, args []string) (string, *syncBuffer, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, args, out) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s := out.String()
+		if i := strings.Index(s, "http://"); i >= 0 {
+			url := strings.TrimSpace(s[i : strings.IndexByte(s[i:], '\n')+i])
+			return url, out, cancel, done
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited before announcing: %v (output %q)", err, out.String())
+		default:
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("server never announced its address; output: %q", out.String())
+	return "", nil, nil, nil
+}
+
+func stopRun(t *testing.T, cancel context.CancelFunc, done chan error) {
+	t.Helper()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not shut down")
+	}
+}
+
+// TestDurableRestartRecoversWithoutRemine boots a durable server, feeds it
+// updates, restarts it from the data dir alone (no -data flag), and checks
+// the rule state survived and the recovery came from the checkpoint.
+func TestDurableRestartRecoversWithoutRemine(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "store")
+	common := []string{"-addr", "127.0.0.1:0", "-min-support", "0.3", "-min-confidence", "0.7", "-data-dir", dataDir}
+
+	url, out, cancel, done := startRun(t, append([]string{"-data", writeDataset(t)}, common...))
+	if !strings.Contains(out.String(), "bootstrapped") {
+		t.Errorf("first boot output missing bootstrap notice: %q", out.String())
+	}
+	var before struct {
+		Rules []ruleJSON `json:"rules"`
+	}
+	if code := getJSON(t, url+"/rules", &before); code != http.StatusOK {
+		t.Fatalf("GET /rules = %d", code)
+	}
+	if code := postJSON(t, url+"/annotations", `{"updates":[{"tuple":7,"annotation":"Annot_1"},{"tuple":8,"annotation":"Annot_1"}]}`, nil); code != http.StatusOK {
+		t.Fatalf("POST /annotations = %d", code)
+	}
+	var after struct {
+		Rules []ruleJSON `json:"rules"`
+	}
+	if code := getJSON(t, url+"/rules", &after); code != http.StatusOK {
+		t.Fatalf("GET /rules = %d", code)
+	}
+	stopRun(t, cancel, done)
+
+	// Restart from the data dir alone: no -data, no mine.
+	url2, out2, cancel2, done2 := startRun(t, common)
+	defer stopRun(t, cancel2, done2)
+	if !strings.Contains(out2.String(), "recovered") {
+		t.Errorf("restart output missing recovery notice: %q", out2.String())
+	}
+	var restarted struct {
+		Rules []ruleJSON `json:"rules"`
+	}
+	if code := getJSON(t, url2+"/rules", &restarted); code != http.StatusOK {
+		t.Fatalf("GET /rules after restart = %d", code)
+	}
+	if fmt.Sprint(restarted.Rules) != fmt.Sprint(after.Rules) {
+		t.Errorf("rules after restart:\n%v\nwant:\n%v", restarted.Rules, after.Rules)
+	}
+	var stats struct {
+		Durability struct {
+			Recovered       bool   `json:"recovered"`
+			RecordsAppended uint64 `json:"records_appended"`
+		} `json:"durability"`
+	}
+	if code := getJSON(t, url2+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", code)
+	}
+	if !stats.Durability.Recovered {
+		t.Error("stats durability section does not report checkpoint recovery")
+	}
+	// The restarted server must keep accepting durable writes.
+	if code := postJSON(t, url2+"/annotations", `{"updates":[{"tuple":5,"annotation":"Annot_5"}]}`, nil); code != http.StatusOK {
+		t.Fatalf("POST /annotations after restart = %d", code)
+	}
+}
+
+// TestStructuredErrorSchema pins the {"error":{"code","message"}} error
+// contract across endpoints and status classes.
+func TestStructuredErrorSchema(t *testing.T) {
+	ts, _ := newTestAPI(t)
+	type errBody struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	cases := []struct {
+		name   string
+		do     func() (*http.Response, error)
+		status int
+		code   string
+	}{
+		{
+			name:   "recommend missing param",
+			do:     func() (*http.Response, error) { return http.Get(ts.URL + "/recommend") },
+			status: http.StatusBadRequest,
+			code:   "invalid_argument",
+		},
+		{
+			name:   "recommend unknown tuple",
+			do:     func() (*http.Response, error) { return http.Get(ts.URL + "/recommend?tuple=99999") },
+			status: http.StatusNotFound,
+			code:   "not_found",
+		},
+		{
+			name: "annotations malformed JSON",
+			do: func() (*http.Response, error) {
+				return http.Post(ts.URL+"/annotations", "application/json", strings.NewReader("{"))
+			},
+			status: http.StatusBadRequest,
+			code:   "invalid_argument",
+		},
+		{
+			name: "annotations out-of-range tuple",
+			do: func() (*http.Response, error) {
+				return http.Post(ts.URL+"/annotations", "application/json",
+					strings.NewReader(`{"updates":[{"tuple":99999,"annotation":"Annot_1"}]}`))
+			},
+			status: http.StatusBadRequest,
+			code:   "invalid_argument",
+		},
+		{
+			name: "oversized body",
+			do: func() (*http.Response, error) {
+				return http.Post(ts.URL+"/tuples", "application/json",
+					strings.NewReader(`{"tuples":[{"values":["`+strings.Repeat("x", 17<<20)+`"]}]}`))
+			},
+			status: http.StatusRequestEntityTooLarge,
+			code:   "payload_too_large",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := tc.do()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.status)
+			}
+			var body errBody
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("error body is not the structured schema: %v", err)
+			}
+			if body.Error.Code != tc.code {
+				t.Errorf("error.code = %q, want %q", body.Error.Code, tc.code)
+			}
+			if body.Error.Message == "" {
+				t.Error("error.message is empty")
+			}
+		})
+	}
+}
+
+// TestRunRefusesEmptyDataDirWithoutData pins the guard against mistyped
+// -data-dir: with no -data and no checkpoint, run must error instead of
+// quietly serving an empty dataset.
+func TestRunRefusesEmptyDataDirWithoutData(t *testing.T) {
+	out := &syncBuffer{}
+	err := run(context.Background(), []string{"-data-dir", filepath.Join(t.TempDir(), "nope"), "-addr", "127.0.0.1:0"}, out)
+	if err == nil || !strings.Contains(err.Error(), "holds no checkpoint") {
+		t.Fatalf("run with fresh -data-dir and no -data = %v, want no-checkpoint error", err)
 	}
 }

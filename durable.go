@@ -1,0 +1,161 @@
+package annotadb
+
+import (
+	"time"
+
+	"annotadb/internal/relation"
+	"annotadb/internal/storage"
+	"annotadb/internal/wal"
+)
+
+// DurabilityOptions configure the persistent serving store: a write-ahead
+// log of serving mutations plus periodic full-state checkpoints in one data
+// directory. See OpenDurable.
+type DurabilityOptions struct {
+	// Dir is the data directory (created if absent). Required.
+	Dir string
+	// Fsync says when log appends reach stable storage: "always" (default;
+	// every record), "interval" (at most once per FsyncInterval), or
+	// "never" (left to the OS page cache).
+	Fsync string
+	// FsyncInterval is the cadence under Fsync "interval" (0 = 100ms).
+	FsyncInterval time.Duration
+	// CheckpointBytes checkpoints when the log reaches this size
+	// (0 = 4 MiB, negative disables the size policy).
+	CheckpointBytes int64
+	// CheckpointAge checkpoints when the oldest un-checkpointed record is
+	// at least this old (0 disables the age policy).
+	CheckpointAge time.Duration
+	// Encoding selects the log record encoding: "binary" (default) or
+	// "json". Recovery reads both regardless.
+	Encoding string
+}
+
+func (d DurabilityOptions) internal() (wal.Options, error) {
+	sync, err := wal.ParseSyncPolicy(d.Fsync)
+	if err != nil {
+		return wal.Options{}, err
+	}
+	enc, err := wal.ParseEncoding(d.Encoding)
+	if err != nil {
+		return wal.Options{}, err
+	}
+	return wal.Options{
+		Dir:             d.Dir,
+		Sync:            sync,
+		SyncEvery:       d.FsyncInterval,
+		Encoding:        enc,
+		CheckpointBytes: d.CheckpointBytes,
+		CheckpointAge:   d.CheckpointAge,
+	}, nil
+}
+
+// HasDurableState reports whether dir holds a checkpoint from a previous
+// run — i.e. whether OpenDurable would recover instead of bootstrapping.
+// Callers that only mean to reopen existing state (no dataset to seed with)
+// should check this first: bootstrapping a mistyped directory would quietly
+// serve an empty dataset.
+func HasDurableState(dir string) bool { return wal.HasCheckpoint(dir) }
+
+// RecoveryReport says how OpenDurable brought the store up.
+type RecoveryReport struct {
+	// FromCheckpoint is true when the engine was restored from a checkpoint
+	// instead of bootstrapped with a full mine.
+	FromCheckpoint bool
+	// RecordsReplayed is the number of log records replayed after the
+	// checkpoint.
+	RecordsReplayed int
+	// TornTail reports that a torn final log record (crash artifact) was
+	// dropped.
+	TornTail bool
+	// DurationSeconds is the wall time of recovery or bootstrap.
+	DurationSeconds float64
+}
+
+// DurabilityStats reports write-ahead log and checkpoint activity for a
+// durable server; see Server.Durability.
+type DurabilityStats struct {
+	// RecordsAppended counts log records written since the store opened;
+	// LogBytes is the current log size (checkpoints truncate it).
+	RecordsAppended uint64
+	LogBytes        int64
+	// Syncs counts explicit log fsyncs.
+	Syncs uint64
+	// Checkpoints and CheckpointErrors count checkpoint attempts since the
+	// store opened; LastCheckpointUnixNano is the newest one's wall time
+	// (0 = none this run).
+	Checkpoints            uint64
+	CheckpointErrors       uint64
+	LastCheckpointUnixNano int64
+	// Recovery echoes how the store came up.
+	Recovery RecoveryReport
+}
+
+// OpenDurable opens (or creates) the durable serving store in opts Dir and
+// returns an engine backed by it.
+//
+// When the directory holds a checkpoint, the engine is restored from it and
+// the log tail is replayed — no mining pass, and dataPath is ignored. When
+// the directory is empty, the dataset at dataPath (a Figure 4 file; "" for
+// an empty dataset) is loaded, mined once, and checkpointed immediately so
+// the next open skips the mine.
+//
+// The returned engine must be wrapped in NewServer before any mutation:
+// only the serving writer journals batches to the log. Mutating the Engine
+// or its Dataset directly leaves the durable state behind the in-memory
+// state until the next checkpoint.
+func OpenDurable(dataPath string, opts Options, dopts DurabilityOptions) (*Engine, RecoveryReport, error) {
+	cfg, err := opts.internal()
+	if err != nil {
+		return nil, RecoveryReport{}, err
+	}
+	wopts, err := dopts.internal()
+	if err != nil {
+		return nil, RecoveryReport{}, err
+	}
+	bootstrap := func() (*relation.Relation, error) {
+		if dataPath == "" {
+			return relation.New(), nil
+		}
+		return storage.ReadDatasetFile(dataPath, storage.Options{})
+	}
+	store, err := wal.Open(wopts, cfg, incrementalOptions(opts), bootstrap)
+	if err != nil {
+		return nil, RecoveryReport{}, err
+	}
+	rec := publicRecovery(store.Recovery())
+	eng := &Engine{
+		ds:    &Dataset{rel: store.Engine().Relation()},
+		eng:   store.Engine(),
+		store: store,
+	}
+	return eng, rec, nil
+}
+
+func publicRecovery(r wal.Recovery) RecoveryReport {
+	return RecoveryReport{
+		FromCheckpoint:  r.FromCheckpoint,
+		RecordsReplayed: r.Records,
+		TornTail:        r.TornTail,
+		DurationSeconds: r.Duration.Seconds(),
+	}
+}
+
+// Durability returns write-ahead log and checkpoint statistics, or nil for
+// a purely in-memory server (one whose engine did not come from
+// OpenDurable).
+func (s *Server) Durability() *DurabilityStats {
+	if s.store == nil {
+		return nil
+	}
+	st := s.store.Stats()
+	return &DurabilityStats{
+		RecordsAppended:        st.Records,
+		LogBytes:               st.LogBytes,
+		Syncs:                  st.Syncs,
+		Checkpoints:            st.Checkpoints,
+		CheckpointErrors:       st.CheckpointErrors,
+		LastCheckpointUnixNano: st.LastCheckpointUnixNano,
+		Recovery:               publicRecovery(st.Recovery),
+	}
+}

@@ -1,0 +1,101 @@
+package annotadb_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"annotadb"
+)
+
+// Example walks the paper's discover–maintain–exploit loop: load an
+// annotated dataset, mine its rules once, stream in an annotation batch
+// (Case 3), and ask for missing-annotation recommendations.
+func Example() {
+	ds := annotadb.NewDataset()
+	rows := []struct {
+		values []string
+		annots []string
+	}{
+		{[]string{"28", "85", "99"}, []string{"Annot_1", "Annot_5"}},
+		{[]string{"28", "85", "12"}, []string{"Annot_1", "Annot_5"}},
+		{[]string{"28", "85", "40"}, []string{"Annot_1", "Annot_5"}},
+		{[]string{"28", "85", "41"}, []string{"Annot_1"}},
+		{[]string{"28", "85"}, []string{"Annot_1"}},
+		{[]string{"28", "41"}, nil},
+		{[]string{"41", "85"}, []string{"Annot_5"}},
+		{[]string{"62", "12"}, nil},
+		{[]string{"62", "40"}, nil},
+		{[]string{"99", "12"}, nil},
+	}
+	for _, r := range rows {
+		if _, err := ds.AddTuple(r.values, r.annots); err != nil {
+			panic(err)
+		}
+	}
+
+	eng, err := annotadb.NewEngine(ds, annotadb.Options{MinSupport: 0.3, MinConfidence: 0.7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("mined:")
+	for _, r := range eng.Rules() {
+		fmt.Println(" ", r)
+	}
+
+	// Case 3: a curator attaches Annot_5 where it was missing; the rules
+	// stay exact without a re-mine.
+	rep, err := eng.AddAnnotations([]annotadb.AnnotationUpdate{
+		{Tuple: 3, Annotation: "Annot_5"},
+		{Tuple: 4, Annotation: "Annot_5"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("after %s: applied %d, promoted %d\n", rep.Operation, rep.Applied, rep.Promoted)
+
+	for _, rec := range eng.RecommendRange(5, 7, annotadb.RecommendOptions{}) {
+		fmt.Println(rec)
+	}
+	// Output:
+	// mined:
+	//   28 -> Annot_1 (confidence: 0.8333, support: 0.5000)
+	//   85 -> Annot_1 (confidence: 0.8333, support: 0.5000)
+	//   28, 85 -> Annot_1 (confidence: 1.0000, support: 0.5000)
+	//   Annot_5 -> Annot_1 (confidence: 0.7500, support: 0.3000)
+	// after case3-new-annotations: applied 2, promoted 4
+	// tuple 6: add Annot_1  [because 28 -> Annot_1 (confidence: 0.8333, support: 0.5000)]
+	// tuple 6: add Annot_5  [because 28 -> Annot_5 (confidence: 0.8333, support: 0.5000)]
+	// tuple 7: add Annot_1  [because 85 -> Annot_1 (confidence: 0.8333, support: 0.5000)]
+}
+
+// ExampleNewServer serves the engine concurrently: reads come from an
+// immutable snapshot, writes are coalesced by a single writer.
+func ExampleNewServer() {
+	ds := annotadb.NewDataset()
+	for i := 0; i < 8; i++ {
+		if _, err := ds.AddTuple([]string{"28", "85"}, []string{"Annot_1"}); err != nil {
+			panic(err)
+		}
+	}
+	eng, err := annotadb.NewEngine(ds, annotadb.Options{MinSupport: 0.4, MinConfidence: 0.8})
+	if err != nil {
+		panic(err)
+	}
+	srv := annotadb.NewServer(eng, annotadb.ServeOptions{})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	}()
+
+	recs, err := srv.RecommendForTuple(annotadb.TupleSpec{Values: []string{"28", "85"}})
+	if err != nil {
+		panic(err)
+	}
+	for _, rec := range recs {
+		fmt.Println(rec.Annotation)
+	}
+	// Output:
+	// Annot_1
+}

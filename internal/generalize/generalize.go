@@ -61,6 +61,7 @@ type ParseError struct {
 	Msg  string
 }
 
+// Error renders the location-prefixed message.
 func (e *ParseError) Error() string {
 	if e.Path == "" {
 		return fmt.Sprintf("generalize: line %d: %s", e.Line, e.Msg)

@@ -21,10 +21,10 @@ import (
 type opKind int
 
 const (
-	opCase1 opKind = iota // annotated tuple batch
-	opCase2               // un-annotated tuple batch
-	opCase3               // annotation attachments
-	opRemove              // annotation removals
+	opCase1  opKind = iota // annotated tuple batch
+	opCase2                // un-annotated tuple batch
+	opCase3                // annotation attachments
+	opRemove               // annotation removals
 )
 
 // makeOps derives a deterministic operation list from rng. Annotation

@@ -31,12 +31,40 @@ import (
 // ErrClosed is returned by write methods after Close.
 var ErrClosed = errors.New("serve: server closed")
 
+// ErrJournal wraps write failures caused by the durability journal (e.g. a
+// full disk under the write-ahead log). The request itself was valid, so
+// transports should map it to a server-side failure status, not a
+// bad-request one.
+var ErrJournal = errors.New("serve: journal failure")
+
 // Default tuning values; see Config.
 const (
 	DefaultBatchWindow = time.Millisecond
 	DefaultMaxBatch    = 4096
 	DefaultQueueDepth  = 128
 )
+
+// Journal is the durability hook the writer loop drives (implemented by
+// the wal package's Store). The contract mirrors a classic write-ahead
+// log: for every coalesced group the writer first calls LogAnnotations or
+// LogTuples — an error fails the whole group before the engine is touched,
+// so the durable log never lags an acknowledged write — and after the
+// batch is applied, the fresh snapshot published, and the waiters
+// acknowledged it calls Committed, which is the journal's moment to run
+// its checkpoint policy. All three methods are called from the single
+// writer goroutine only.
+type Journal interface {
+	// LogAnnotations records an annotation batch; remove distinguishes
+	// detachment from attachment.
+	LogAnnotations(updates []relation.AnnotationUpdate, remove bool) error
+	// LogTuples records a tuple batch.
+	LogTuples(tuples []relation.Tuple) error
+	// Committed reports that every record logged so far is applied,
+	// published, and acknowledged — the journal's moment to checkpoint
+	// without holding up any waiter. Errors are counted
+	// (Stats.JournalErrors), not fatal.
+	Committed() error
+}
 
 // Config tunes the serving core.
 type Config struct {
@@ -56,6 +84,9 @@ type Config struct {
 	// Recommend filters the rules compiled into each snapshot's
 	// recommendation evaluator.
 	Recommend predict.Options
+	// Journal, when non-nil, write-ahead logs every batch before it is
+	// applied. Nil serves purely in memory.
+	Journal Journal
 }
 
 func (c Config) batchWindow() time.Duration {
@@ -137,10 +168,11 @@ type Server struct {
 	closeOnce sync.Once
 
 	// counters
-	requests  atomic.Uint64 // write requests accepted into the queue
-	batches   atomic.Uint64 // engine applications
-	coalesced atomic.Uint64 // requests that shared an application with another
-	reads     atomic.Uint64 // snapshot loads
+	requests    atomic.Uint64 // write requests accepted into the queue
+	batches     atomic.Uint64 // engine applications
+	coalesced   atomic.Uint64 // requests that shared an application with another
+	reads       atomic.Uint64 // snapshot loads
+	journalErrs atomic.Uint64 // journal failures (failed groups + Committed errors)
 }
 
 // New wraps eng in a serving core and starts its writer loop. The initial
@@ -218,6 +250,9 @@ type Stats struct {
 	Batches   uint64 // engine applications after coalescing
 	Coalesced uint64 // requests that shared an application
 	Reads     uint64 // snapshot loads served
+	// JournalErrors counts journal failures: groups rejected because their
+	// write-ahead log append failed, plus post-publish Committed errors.
+	JournalErrors uint64
 	// Engine lifetime counters as of the snapshot.
 	Engine incremental.Stats
 }
@@ -226,16 +261,17 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	snap := s.snap.Load()
 	return Stats{
-		Seq:        snap.Seq,
-		N:          snap.N,
-		RuleCount:  snap.Rules.Len(),
-		MinCount:   snap.MinCount,
-		RelVersion: snap.RelVersion,
-		Requests:   s.requests.Load(),
-		Batches:    s.batches.Load(),
-		Coalesced:  s.coalesced.Load(),
-		Reads:      s.reads.Load(),
-		Engine:     snap.EngineStats,
+		Seq:           snap.Seq,
+		N:             snap.N,
+		RuleCount:     snap.Rules.Len(),
+		MinCount:      snap.MinCount,
+		RelVersion:    snap.RelVersion,
+		Requests:      s.requests.Load(),
+		Batches:       s.batches.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Reads:         s.reads.Load(),
+		JournalErrors: s.journalErrs.Load(),
+		Engine:        snap.EngineStats,
 	}
 }
 
@@ -407,6 +443,14 @@ func (s *Server) apply(batch []*request) {
 			r.done <- results[gi]
 		}
 	}
+	// After the acks: Committed may trigger a checkpoint (a full state
+	// serialize + fsync), and waiters whose records are already in the log
+	// should not sit through it.
+	if s.cfg.Journal != nil {
+		if err := s.cfg.Journal.Committed(); err != nil {
+			s.journalErrs.Add(1)
+		}
+	}
 }
 
 func (s *Server) applyGroup(kind opKind, group []*request) result {
@@ -428,6 +472,12 @@ func (s *Server) applyGroup(kind opKind, group []*request) result {
 				updates = append(updates, r.updates...)
 			}
 		}
+		if s.cfg.Journal != nil {
+			if jerr := s.cfg.Journal.LogAnnotations(updates, kind == opRemovals); jerr != nil {
+				s.journalErrs.Add(1)
+				return result{err: fmt.Errorf("%w: %w", ErrJournal, jerr)}
+			}
+		}
 		if kind == opAnnotations {
 			rep, err = s.eng.AddAnnotations(updates)
 		} else {
@@ -440,6 +490,12 @@ func (s *Server) applyGroup(kind opKind, group []*request) result {
 		} else {
 			for _, r := range group {
 				tuples = append(tuples, r.tuples...)
+			}
+		}
+		if s.cfg.Journal != nil {
+			if jerr := s.cfg.Journal.LogTuples(tuples); jerr != nil {
+				s.journalErrs.Add(1)
+				return result{err: fmt.Errorf("%w: %w", ErrJournal, jerr)}
 			}
 		}
 		annotated := false

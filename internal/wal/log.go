@@ -1,0 +1,248 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// logMagic opens every log file; the trailing byte is the format version.
+var logMagic = []byte("ADBWAL\x00\x02")
+
+// logHeaderSize is the fixed log file header: the magic followed by a
+// little-endian uint64 epoch. The epoch ties a log to the checkpoint
+// generation it extends: every checkpoint carries the epoch its successor
+// log will be stamped with, so recovery can tell a log that extends the
+// checkpoint (equal epochs, replay it) from one the checkpoint already
+// covers (older epoch — the artifact of a crash between checkpoint install
+// and log truncation — drop it, replaying would double-apply).
+const logHeaderSize = 8 + 8
+
+// frameHeaderSize is the fixed prefix of every record frame:
+// a little-endian uint32 payload length followed by a little-endian uint32
+// CRC32 (IEEE) of the payload.
+const frameHeaderSize = 8
+
+// maxRecordBytes bounds a single record frame: Append rejects larger
+// payloads, which is what lets Replay classify a larger length prefix as
+// damage (never a legitimate frame or an allocation request).
+const maxRecordBytes = 256 << 20
+
+// Log is an append-only record log backing one Store. It is not safe for
+// concurrent use: the serving layer's single writer is its only client.
+type Log struct {
+	f     *os.File
+	path  string
+	size  int64
+	epoch uint64
+}
+
+// OpenLog opens (or creates) the log file at path. A brand-new or fully
+// truncated file gets the magic header stamped with epoch; an existing file
+// keeps its stored epoch. A file too short to hold the header is treated as
+// a torn first write and reset. Call Replay before appending to position
+// the log after recovery.
+func OpenLog(path string, epoch uint64) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open log: %w", err)
+	}
+	l := &Log{f: f, path: path}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat log: %w", err)
+	}
+	l.size = st.Size()
+	if l.size < logHeaderSize {
+		// Empty file, or a write torn inside the header: start fresh.
+		if err := l.reset(epoch); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return l, nil
+	}
+	header := make([]byte, logHeaderSize)
+	if _, err := f.ReadAt(header, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: read log header: %w", err)
+	}
+	if string(header[:len(logMagic)]) != string(logMagic) {
+		f.Close()
+		return nil, fmt.Errorf("wal: %s is not a wal log (bad magic)", path)
+	}
+	l.epoch = binary.LittleEndian.Uint64(header[len(logMagic):])
+	return l, nil
+}
+
+// Epoch returns the checkpoint generation this log extends.
+func (l *Log) Epoch() uint64 { return l.epoch }
+
+// reset truncates the log to just the header, stamped with epoch.
+func (l *Log) reset(epoch uint64) error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate log: %w", err)
+	}
+	header := make([]byte, logHeaderSize)
+	copy(header, logMagic)
+	binary.LittleEndian.PutUint64(header[len(logMagic):], epoch)
+	if _, err := l.f.WriteAt(header, 0); err != nil {
+		return fmt.Errorf("wal: write log header: %w", err)
+	}
+	l.size = logHeaderSize
+	l.epoch = epoch
+	return nil
+}
+
+// ReplayInfo summarizes one Replay pass.
+type ReplayInfo struct {
+	// Records is the number of intact records replayed.
+	Records int
+	// TornTail reports that a torn final record (crash artifact) was
+	// detected, dropped, and truncated away.
+	TornTail bool
+}
+
+// Replay reads the log from the start, calling fn for each intact record in
+// order. A torn final record — a frame that runs past EOF, a zero length
+// prefix (a never-written preallocated region exposed by power loss), or a
+// CRC mismatch on the last frame — ends the replay and is truncated away so
+// appends resume from the last durable record. Damage that cannot be a
+// torn append — a CRC failure with intact bytes following it, or a length
+// prefix larger than any frame Append accepts — is a hard error instead:
+// truncating there would silently discard durable records. fn returning an
+// error aborts the replay with that error. After a successful Replay the
+// log is positioned for Append.
+func (l *Log) Replay(fn func(Record) error) (ReplayInfo, error) {
+	var info ReplayInfo
+	offset := int64(logHeaderSize)
+	rd := io.NewSectionReader(l.f, offset, l.size-offset)
+	header := make([]byte, frameHeaderSize)
+	for {
+		if _, err := io.ReadFull(rd, header); err != nil {
+			if errors.Is(err, io.EOF) {
+				break // clean end
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				info.TornTail = true
+				break
+			}
+			return info, fmt.Errorf("wal: replay: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		want := binary.LittleEndian.Uint32(header[4:8])
+		if length == 0 {
+			// A zero length is the classic crash artifact of filesystems
+			// that expose never-written (zero-filled) preallocated space
+			// after power loss: torn tail.
+			info.TornTail = true
+			break
+		}
+		if length > maxRecordBytes {
+			// Append bounds payloads, so no written frame ever carries this
+			// length: the header bytes themselves are damaged mid-log.
+			return info, fmt.Errorf("wal: record %d at offset %d has impossible length %d: mid-log corruption, refusing to drop the tail",
+				info.Records, offset, length)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(rd, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				info.TornTail = true
+				break
+			}
+			return info, fmt.Errorf("wal: replay: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			if frameEnd := offset + frameHeaderSize + int64(length); frameEnd < l.size {
+				// The corrupt frame is fully present AND intact bytes follow
+				// it: this cannot be a torn append (appends only ever
+				// shorten the tail), it is mid-log damage. Truncating here
+				// would silently discard the durable records behind it.
+				return info, fmt.Errorf("wal: record %d at offset %d failed its CRC with %d bytes of log following it: mid-log corruption, refusing to drop the tail",
+					info.Records, offset, l.size-frameEnd)
+			}
+			info.TornTail = true
+			break
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			// The frame passed its CRC, so this is not a torn write:
+			// refuse to guess and surface it.
+			return info, fmt.Errorf("wal: replay record %d at offset %d: %w", info.Records, offset, err)
+		}
+		if err := fn(rec); err != nil {
+			return info, err
+		}
+		offset += frameHeaderSize + int64(length)
+		info.Records++
+	}
+	if info.TornTail {
+		if err := l.f.Truncate(offset); err != nil {
+			return info, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	l.size = offset
+	return info, nil
+}
+
+// Append encodes rec and appends its frame to the log. A record whose
+// payload exceeds maxRecordBytes is rejected up front: Replay would treat
+// its length prefix as garbage, so writing it would ack a record recovery
+// must discard. Durability is the caller's concern: pair with Sync
+// according to the store's sync policy.
+func (l *Log) Append(rec Record, enc Encoding) (int64, error) {
+	payload, err := encodePayload(rec, enc)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("wal: record payload %d bytes exceeds the %d-byte limit; split the batch", len(payload), maxRecordBytes)
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+	if _, err := l.f.WriteAt(frame, l.size); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(frame))
+	return int64(len(frame)), nil
+}
+
+// Sync flushes appended records to stable storage.
+func (l *Log) Sync() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Size returns the current log size in bytes, header included.
+func (l *Log) Size() int64 { return l.size }
+
+// Truncate drops every record, leaving just the header re-stamped with
+// epoch, and syncs. Called after a checkpoint has been durably installed:
+// the dropped records are all covered by it, and the new epoch marks this
+// log as the checkpoint's successor.
+func (l *Log) Truncate(epoch uint64) error {
+	if err := l.reset(epoch); err != nil {
+		return err
+	}
+	return l.Sync()
+}
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	if syncErr != nil {
+		return fmt.Errorf("wal: close: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("wal: close: %w", closeErr)
+	}
+	return nil
+}

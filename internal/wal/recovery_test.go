@@ -1,0 +1,407 @@
+package wal
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"annotadb/internal/incremental"
+	"annotadb/internal/mining"
+	"annotadb/internal/relation"
+	"annotadb/internal/serve"
+	"annotadb/internal/workload"
+)
+
+// --- token-level workload steps ------------------------------------------
+//
+// The property test needs the same workload applied to independent stores
+// whose dictionaries evolve separately, so steps carry tokens, not interned
+// items, exactly like log records do.
+
+type stepKind uint8
+
+const (
+	stepAddAnnotations stepKind = iota
+	stepRemoveAnnotations
+	stepAddTuples
+)
+
+type step struct {
+	kind    stepKind
+	updates []Update
+	tuples  []TupleSpec
+}
+
+// generateSteps builds a shuffled mix of Case 1/2/3/removal batches against
+// an evolving driver relation, rendered to tokens. Deterministic in seed.
+func generateSteps(t testing.TB, seed int64, n int) []step {
+	t.Helper()
+	spec := workload.Default8K(seed)
+	spec.Tuples = 300
+	spec.DataDomain = 30
+	spec.ValuesPerTuple = 4
+	g, err := workload.NewGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := driver.Dictionary()
+	rng := rand.New(rand.NewSource(seed + 1))
+	var steps []step
+	for len(steps) < n {
+		switch rng.Intn(4) {
+		case 0: // Case 3: attach annotations (half reinforcing planted rules)
+			batch, err := g.AnnotationBatch(driver, 8+rng.Intn(8), 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := driver.ApplyUpdates(batch); err != nil {
+				t.Fatal(err)
+			}
+			steps = append(steps, step{kind: stepAddAnnotations, updates: renderUpdates(dict, batch)})
+		case 1: // removal: detach existing attachments
+			var pool []relation.AnnotationUpdate
+			driver.Each(func(i int, tu relation.Tuple) bool {
+				for _, a := range tu.Annots {
+					pool = append(pool, relation.AnnotationUpdate{Index: i, Annotation: a})
+				}
+				return true
+			})
+			if len(pool) == 0 {
+				continue
+			}
+			rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+			batch := pool[:min(len(pool), 4+rng.Intn(6))]
+			if _, _, err := driver.ApplyRemovals(batch); err != nil {
+				t.Fatal(err)
+			}
+			steps = append(steps, step{kind: stepRemoveAnnotations, updates: renderUpdates(dict, batch)})
+		case 2: // Case 1: annotated tuples
+			tuples, err := g.AnnotatedTuples(dict, 4+rng.Intn(6))
+			if err != nil {
+				t.Fatal(err)
+			}
+			driver.Append(tuples...)
+			steps = append(steps, step{kind: stepAddTuples, tuples: renderTuples(dict, tuples)})
+		case 3: // Case 2: un-annotated tuples
+			tuples, err := g.UnannotatedTuples(dict, 4+rng.Intn(6))
+			if err != nil {
+				t.Fatal(err)
+			}
+			driver.Append(tuples...)
+			steps = append(steps, step{kind: stepAddTuples, tuples: renderTuples(dict, tuples)})
+		}
+	}
+	return steps
+}
+
+func renderUpdates(dict *relation.Dictionary, batch []relation.AnnotationUpdate) []Update {
+	out := make([]Update, len(batch))
+	for i, u := range batch {
+		out[i] = Update{Tuple: u.Index, Annotation: dict.Token(u.Annotation)}
+	}
+	return out
+}
+
+func renderTuples(dict *relation.Dictionary, tuples []relation.Tuple) []TupleSpec {
+	out := make([]TupleSpec, len(tuples))
+	for i, tu := range tuples {
+		out[i] = TupleSpec{Values: append([]string(nil), dict.Tokens(tu.Data)...), Annotations: append([]string(nil), dict.Tokens(tu.Annots)...)}
+	}
+	return out
+}
+
+// --- harness: a durable serving stack driven by token steps --------------
+
+type stack struct {
+	store *Store
+	srv   *serve.Server
+}
+
+// openStack opens the store in dir (bootstrapping the generated base
+// relation on first open) and wraps it in a serving core with the store as
+// its journal, mirroring the production wiring.
+func openStack(t testing.TB, dir string, seed int64, opts Options) *stack {
+	t.Helper()
+	opts.Dir = dir
+	s, err := Open(opts, testCfg(), incremental.Options{}, func() (*relation.Relation, error) {
+		spec := workload.Default8K(seed)
+		spec.Tuples = 300
+		spec.DataDomain = 30
+		spec.ValuesPerTuple = 4
+		g, err := workload.NewGenerator(spec)
+		if err != nil {
+			return nil, err
+		}
+		return g.Generate()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &stack{
+		store: s,
+		// Negative batch window: sequential submissions apply one to one,
+		// so each step becomes exactly one log record.
+		srv: serve.New(s.Engine(), serve.Config{BatchWindow: -1, Journal: s}),
+	}
+}
+
+func (k *stack) apply(t testing.TB, st step) {
+	t.Helper()
+	ctx := context.Background()
+	dict := k.store.Engine().Relation().Dictionary()
+	var err error
+	switch st.kind {
+	case stepAddAnnotations, stepRemoveAnnotations:
+		updates := make([]relation.AnnotationUpdate, len(st.updates))
+		for i, u := range st.updates {
+			it, ierr := dict.InternAnnotation(u.Annotation)
+			if ierr != nil {
+				t.Fatal(ierr)
+			}
+			updates[i] = relation.AnnotationUpdate{Index: u.Tuple, Annotation: it}
+		}
+		if st.kind == stepAddAnnotations {
+			_, err = k.srv.AddAnnotations(ctx, updates)
+		} else {
+			_, err = k.srv.RemoveAnnotations(ctx, updates)
+		}
+	case stepAddTuples:
+		tuples := make([]relation.Tuple, len(st.tuples))
+		for i, spec := range st.tuples {
+			tuples[i] = relation.MustTuple(dict, spec.Values, spec.Annotations)
+		}
+		_, err = k.srv.AddTuples(ctx, tuples)
+	}
+	if err != nil {
+		t.Fatalf("apply step: %v", err)
+	}
+}
+
+// crash stops the serving core and closes the store WITHOUT the final
+// checkpoint a graceful shutdown would write: recovery must come from the
+// last policy checkpoint plus the log.
+func (k *stack) crash(t testing.TB) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := k.srv.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (k *stack) rules() []string { return renderedRules(k.store.Engine()) }
+
+// TestRecoveryEquivalenceProperty is the paper's exactness contract pushed
+// through the durability layer: replaying any prefix of a shuffled
+// Case 1/2/3/removal workload through a crash and reopen — including with a
+// torn final record — then finishing the workload must yield exactly the
+// rule view of the uninterrupted run, and the recovered state must pass the
+// engine's full re-mine verification.
+func TestRecoveryEquivalenceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	const (
+		seed  = 42
+		steps = 12
+	)
+	workloadSteps := generateSteps(t, seed, steps)
+
+	// Reference: the uninterrupted run.
+	ref := openStack(t, t.TempDir(), seed, Options{CheckpointBytes: -1})
+	for _, st := range workloadSteps {
+		ref.apply(t, st)
+	}
+	want := ref.rules()
+	ref.crash(t)
+	if len(want) == 0 {
+		t.Fatal("fixture produced no rules; the property would be vacuous")
+	}
+
+	cuts := []int{0, 1, steps / 3, steps / 2, steps - 1, steps}
+	for _, cut := range cuts {
+		for _, torn := range []bool{false, true} {
+			if torn && cut == 0 {
+				continue // no record to tear
+			}
+			name := fmt.Sprintf("cut=%d,torn=%v", cut, torn)
+			t.Run(name, func(t *testing.T) {
+				dir := t.TempDir()
+				k := openStack(t, dir, seed, Options{CheckpointBytes: -1})
+				for _, st := range workloadSteps[:cut] {
+					k.apply(t, st)
+				}
+				k.crash(t)
+				if torn {
+					// Shear a few bytes off the final record, as a crash
+					// mid-append would.
+					fi, err := os.Stat(LogPath(dir))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := os.Truncate(LogPath(dir), fi.Size()-3); err != nil {
+						t.Fatal(err)
+					}
+				}
+				k2 := openStack(t, dir, seed, Options{CheckpointBytes: -1})
+				rec := k2.store.Recovery()
+				if !rec.FromCheckpoint {
+					t.Fatal("reopen did not recover from checkpoint")
+				}
+				survived := cut
+				if torn {
+					survived = cut - 1
+					if !rec.TornTail {
+						t.Error("torn tail not reported")
+					}
+				}
+				if rec.Records != survived {
+					t.Fatalf("recovered %d records, want %d", rec.Records, survived)
+				}
+				// The recovered state must be exactly what a full re-mine of
+				// the recovered relation produces (invariants I1–I3 hold).
+				if err := k2.store.Engine().Verify(); err != nil {
+					t.Fatalf("recovered state fails re-mine verification: %v", err)
+				}
+				// Finish the workload: the torn batch was never acknowledged,
+				// so the client retries it, then everything after.
+				for _, st := range workloadSteps[survived:] {
+					k2.apply(t, st)
+				}
+				if got := k2.rules(); !reflect.DeepEqual(got, want) {
+					t.Errorf("final rules diverge from uninterrupted run:\ngot  %v\nwant %v", got, want)
+				}
+				k2.crash(t)
+			})
+		}
+	}
+}
+
+// TestRecoveryEquivalenceAcrossCheckpoints runs the same workload with a
+// checkpoint forced after every batch, so recovery exercises the
+// checkpoint-install/log-truncate path at every boundary instead of log
+// replay.
+func TestRecoveryEquivalenceAcrossCheckpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	const (
+		seed  = 7
+		steps = 8
+	)
+	workloadSteps := generateSteps(t, seed, steps)
+	ref := openStack(t, t.TempDir(), seed, Options{CheckpointBytes: -1})
+	for _, st := range workloadSteps {
+		ref.apply(t, st)
+	}
+	want := ref.rules()
+	ref.crash(t)
+
+	dir := t.TempDir()
+	for cut := 0; cut <= steps; cut++ {
+		// Reopen at every boundary; CheckpointBytes 1 checkpoints after
+		// every committed batch, so each reopen replays zero records.
+		k := openStack(t, dir, seed, Options{CheckpointBytes: 1})
+		if cut > 0 && k.store.Recovery().Records != 0 {
+			t.Fatalf("cut %d: replayed %d records despite per-batch checkpoints", cut, k.store.Recovery().Records)
+		}
+		if err := k.store.Engine().Verify(); err != nil {
+			t.Fatalf("cut %d: recovered state fails re-mine verification: %v", cut, err)
+		}
+		if cut < steps {
+			k.apply(t, workloadSteps[cut])
+		}
+		k.crash(t)
+	}
+	k := openStack(t, dir, seed, Options{CheckpointBytes: 1})
+	if got := k.rules(); !reflect.DeepEqual(got, want) {
+		t.Errorf("final rules diverge from uninterrupted run:\ngot  %v\nwant %v", got, want)
+	}
+	k.crash(t)
+}
+
+// --- recovery benchmark --------------------------------------------------
+
+// benchCfg mirrors the paper's conservative thresholds, matching the bench
+// package's workload scale.
+func benchCfg() mining.Config {
+	return mining.Config{MinSupport: 0.4, MinConfidence: 0.8}
+}
+
+// benchStore seeds dir with a checkpointed engine over the bench workload.
+func benchStore(b *testing.B, dir string) {
+	b.Helper()
+	s, err := Open(Options{Dir: dir}, benchCfg(), incremental.Options{}, func() (*relation.Relation, error) {
+		g, err := workload.NewGenerator(workload.Default8K(1))
+		if err != nil {
+			return nil, err
+		}
+		return g.Generate()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkOpenFromCheckpoint measures reopen cost on the 8K bench
+// workload; compare with BenchmarkOpenBootstrapMine, which pays the full
+// mine on the same data. The gap is the point of the wal package.
+func BenchmarkOpenFromCheckpoint(b *testing.B) {
+	dir := b.TempDir()
+	benchStore(b, dir)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(Options{Dir: dir}, benchCfg(), incremental.Options{}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !s.Recovery().FromCheckpoint {
+			b.Fatal("expected checkpoint recovery")
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkOpenBootstrapMine measures the full bootstrap (mine + initial
+// checkpoint) the checkpoint path avoids.
+func BenchmarkOpenBootstrapMine(b *testing.B) {
+	g, err := workload.NewGenerator(workload.Default8K(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel, err := g.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		clone := rel.Clone()
+		b.StartTimer()
+		s, err := Open(Options{Dir: dir}, benchCfg(), incremental.Options{}, func() (*relation.Relation, error) {
+			return clone, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Recovery().FromCheckpoint {
+			b.Fatal("expected bootstrap")
+		}
+		s.Close()
+	}
+}

@@ -1,0 +1,540 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"annotadb/internal/incremental"
+	"annotadb/internal/itemset"
+	"annotadb/internal/mining"
+	"annotadb/internal/relation"
+	"annotadb/internal/storage"
+)
+
+// CheckpointPath returns the checkpoint file location inside a data dir.
+func CheckpointPath(dir string) string { return filepath.Join(dir, "checkpoint.db") }
+
+// LogPath returns the log file location inside a data dir.
+func LogPath(dir string) string { return filepath.Join(dir, "wal.log") }
+
+// HasCheckpoint reports whether dir holds a checkpoint file — i.e. whether
+// Open would recover instead of bootstrapping. It does not validate the
+// file; Open does.
+func HasCheckpoint(dir string) bool {
+	_, err := os.Stat(CheckpointPath(dir))
+	return err == nil
+}
+
+// configFingerprint canonicalizes the configuration facets that determine
+// mined state. Restoring a checkpoint under a different fingerprint would
+// silently break the exactness contract (thresholds are recomputed from the
+// running config against state tracked under the old one), so Open refuses
+// the mismatch. Algorithm choice, parallelism, and counting strategy are
+// excluded: they change how the state is computed, never what it is.
+func configFingerprint(cfg mining.Config, eopts incremental.Options) string {
+	slack := cfg.CandidateSlack
+	if eopts.DisableCandidateStore {
+		slack = 1.0
+	}
+	return fmt.Sprintf("v1 support=%g confidence=%g slack=%g maxlen=%d excludeDerived=%t dataRules=%t annotRules=%t",
+		cfg.MinSupport, cfg.MinConfidence, slack, cfg.MaxLen,
+		cfg.ExcludeDerived, cfg.MineDataRules, cfg.MineAnnotRules)
+}
+
+// Recovery summarizes what Open found and did.
+type Recovery struct {
+	// FromCheckpoint reports that the engine was restored from a checkpoint
+	// (no bootstrap mine); false means the store was bootstrapped fresh.
+	FromCheckpoint bool
+	// Records is the number of log records replayed after the checkpoint.
+	Records int
+	// TornTail reports that a torn final record was dropped and truncated.
+	TornTail bool
+	// StaleLogDropped reports that the log predated the checkpoint (the
+	// artifact of a crash between checkpoint install and log truncation)
+	// and was discarded whole: every record in it was already folded into
+	// the checkpoint, so replaying would double-apply.
+	StaleLogDropped bool
+	// Duration is the wall time of the whole Open, mine or recovery included.
+	Duration time.Duration
+}
+
+// Stats reports durability activity since Open.
+type Stats struct {
+	// Records and LogBytes describe the appended log: records written since
+	// Open and the current log file size (truncated by checkpoints).
+	Records  uint64
+	LogBytes int64
+	// Syncs counts explicit fsyncs of the log.
+	Syncs uint64
+	// Checkpoints and CheckpointErrors count checkpoint attempts since Open.
+	Checkpoints      uint64
+	CheckpointErrors uint64
+	// LastCheckpointUnixNano is the wall time of the newest checkpoint
+	// written since Open, 0 when none has been written yet this run.
+	LastCheckpointUnixNano int64
+	// Recovery echoes what Open found.
+	Recovery Recovery
+}
+
+// Store is the durable serving store: an incremental engine whose mutations
+// are write-ahead logged and periodically checkpointed. It implements the
+// serve package's Journal interface; wire it into serve.Config.Journal and
+// route every mutation through the serving core.
+//
+// The mutating methods (LogAnnotations, LogTuples, Committed, Checkpoint)
+// are not safe for concurrent use — they belong to the serving layer's
+// single writer. Stats and Recovery may be read from any goroutine.
+type Store struct {
+	opts  Options
+	cfg   mining.Config
+	eopts incremental.Options
+	eng   *incremental.Engine
+	log   *Log
+
+	recovery Recovery
+
+	records          atomic.Uint64
+	logBytes         atomic.Int64
+	syncs            atomic.Uint64
+	checkpoints      atomic.Uint64
+	checkpointErrors atomic.Uint64
+	lastCheckpoint   atomic.Int64
+
+	lastSync      time.Time // writer-only
+	oldestPending time.Time // writer-only: append time of the oldest un-checkpointed record
+	closed        bool
+	// failed latches when the log and the in-memory/acknowledged state can
+	// no longer be reconciled by this process: a checkpoint installed but
+	// the log could not be truncated to the new epoch (appends would be
+	// discarded by the next recovery), or an append landed in the file but
+	// its fsync failed (later appends would follow a phantom record that
+	// recovery replays). The store refuses further appends — clients get
+	// errors instead of silent divergence — until a restart recovers.
+	failed error
+}
+
+// Open recovers (or bootstraps) the durable store in opts.Dir.
+//
+// When a checkpoint exists the engine is restored from it without mining and
+// the log tail is replayed through the ordinary incremental update paths;
+// bootstrap is not called. Otherwise — the empty-data-dir case — bootstrap
+// must produce the initial relation, a full mine runs, and the first
+// checkpoint is written immediately so the next Open skips the mine.
+//
+// cfg and eopts must match across runs of the same directory; the checkpoint
+// records a fingerprint of the state-determining facets and Open refuses a
+// mismatch rather than silently serving rules mined under other thresholds.
+func Open(opts Options, cfg mining.Config, eopts incremental.Options, bootstrap func() (*relation.Relation, error)) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	start := time.Now()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create data dir: %w", err)
+	}
+	s := &Store{opts: opts, cfg: cfg, eopts: eopts}
+	ckEpoch := uint64(0)
+	ck, err := storage.ReadCheckpointFile(CheckpointPath(opts.Dir))
+	switch {
+	case err == nil:
+		if want, got := configFingerprint(cfg, eopts), ck.ConfigFingerprint; got != want {
+			return nil, fmt.Errorf("wal: %s was written under a different mining configuration\n  checkpoint: %s\n  running:    %s\nrestart with matching flags, or remove the directory to re-mine under the new ones",
+				opts.Dir, got, want)
+		}
+		eng, rerr := incremental.Restore(ck.Relation, cfg, eopts, incremental.State{
+			Valid:         ck.Valid,
+			Candidates:    ck.Candidates,
+			DataPatterns:  ck.DataPatterns,
+			AnnotPatterns: ck.AnnotPatterns,
+			Stats:         statsFromCounters(ck.Counters),
+		})
+		if rerr != nil {
+			return nil, rerr
+		}
+		s.eng = eng
+		s.recovery.FromCheckpoint = true
+		ckEpoch = ck.Epoch
+	case os.IsNotExist(err):
+		// A log with no checkpoint cannot happen under this package's write
+		// ordering (the first checkpoint precedes the first append); if one
+		// shows up the directory was tampered with and a silent bootstrap
+		// would drop its records.
+		if fi, statErr := os.Stat(LogPath(opts.Dir)); statErr == nil && fi.Size() > logHeaderSize {
+			return nil, fmt.Errorf("wal: %s holds a log but no checkpoint; refusing to bootstrap over it", opts.Dir)
+		}
+		if bootstrap == nil {
+			return nil, fmt.Errorf("wal: %s holds no checkpoint and no bootstrap was provided", opts.Dir)
+		}
+		rel, berr := bootstrap()
+		if berr != nil {
+			return nil, fmt.Errorf("wal: bootstrap: %w", berr)
+		}
+		eng, nerr := incremental.New(rel, cfg, eopts)
+		if nerr != nil {
+			return nil, nerr
+		}
+		s.eng = eng
+	default:
+		return nil, err
+	}
+	log, err := OpenLog(LogPath(opts.Dir), ckEpoch)
+	if err != nil {
+		return nil, err
+	}
+	s.log = log
+	switch {
+	case log.Epoch() == ckEpoch:
+		info, rerr := log.Replay(s.applyRecord)
+		if rerr != nil {
+			log.Close()
+			return nil, rerr
+		}
+		s.recovery.Records = info.Records
+		s.recovery.TornTail = info.TornTail
+	case log.Epoch() < ckEpoch:
+		// Crash between checkpoint install and log truncation: every record
+		// in the log is already folded into the checkpoint. Replaying would
+		// double-apply, so finish the interrupted truncation instead.
+		if terr := log.Truncate(ckEpoch); terr != nil {
+			log.Close()
+			return nil, terr
+		}
+		s.recovery.StaleLogDropped = true
+	default:
+		log.Close()
+		return nil, fmt.Errorf("wal: %s log epoch %d is ahead of checkpoint epoch %d (checkpoint rolled back?)",
+			opts.Dir, log.Epoch(), ckEpoch)
+	}
+	if !s.recovery.FromCheckpoint {
+		// First run on this directory: install the initial checkpoint so the
+		// next Open restores instead of re-mining.
+		if cerr := s.Checkpoint(); cerr != nil {
+			log.Close()
+			return nil, cerr
+		}
+	} else if log.Size() > logHeaderSize {
+		// Replayed records are still only covered by the log; age them from
+		// now so the age policy eventually folds them into a checkpoint.
+		s.oldestPending = time.Now()
+	}
+	s.logBytes.Store(log.Size())
+	s.recovery.Duration = time.Since(start)
+	return s, nil
+}
+
+// HasPendingRecords reports whether the log holds records not yet covered
+// by a checkpoint. Belongs to the single writer, like the mutating methods.
+func (s *Store) HasPendingRecords() bool { return s.log.Size() > logHeaderSize }
+
+// Engine returns the recovered (or freshly bootstrapped) engine. The serving
+// layer takes ownership of it via serve.New.
+func (s *Store) Engine() *incremental.Engine { return s.eng }
+
+// Recovery reports what Open found and did.
+func (s *Store) Recovery() Recovery { return s.recovery }
+
+// Stats returns current durability counters. Safe from any goroutine.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Records:                s.records.Load(),
+		LogBytes:               s.logBytes.Load(),
+		Syncs:                  s.syncs.Load(),
+		Checkpoints:            s.checkpoints.Load(),
+		CheckpointErrors:       s.checkpointErrors.Load(),
+		LastCheckpointUnixNano: s.lastCheckpoint.Load(),
+		Recovery:               s.recovery,
+	}
+}
+
+// LogAnnotations appends an annotation batch record (attach, or detach when
+// remove is set) to the log, honoring the sync policy. Part of the serve
+// package's Journal contract: called by the single writer before the batch
+// is applied to the engine. Empty batches append nothing.
+func (s *Store) LogAnnotations(updates []relation.AnnotationUpdate, remove bool) error {
+	if len(updates) == 0 {
+		return nil
+	}
+	dict := s.eng.Relation().Dictionary()
+	recUpdates := make([]Update, len(updates))
+	for i, u := range updates {
+		tok, ok := dict.TokenOK(u.Annotation)
+		if !ok {
+			return fmt.Errorf("wal: log annotations: item %v has no token", u.Annotation)
+		}
+		recUpdates[i] = Update{Tuple: u.Index, Annotation: tok}
+	}
+	kind := KindAddAnnotations
+	if remove {
+		kind = KindRemoveAnnotations
+	}
+	return s.append(Record{Kind: kind, Updates: recUpdates})
+}
+
+// LogTuples appends a tuple batch record to the log, honoring the sync
+// policy. Part of the serve package's Journal contract. Empty batches
+// append nothing.
+func (s *Store) LogTuples(tuples []relation.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	dict := s.eng.Relation().Dictionary()
+	specs := make([]TupleSpec, len(tuples))
+	for i, tu := range tuples {
+		values, err := tokensOf(dict, tu.Data)
+		if err != nil {
+			return err
+		}
+		annots, err := tokensOf(dict, tu.Annots)
+		if err != nil {
+			return err
+		}
+		specs[i] = TupleSpec{Values: values, Annotations: annots}
+	}
+	return s.append(Record{Kind: KindAddTuples, Tuples: specs})
+}
+
+func tokensOf(dict *relation.Dictionary, s itemset.Itemset) ([]string, error) {
+	if len(s) == 0 {
+		return nil, nil
+	}
+	out := make([]string, len(s))
+	for i, it := range s {
+		tok, ok := dict.TokenOK(it)
+		if !ok {
+			return nil, fmt.Errorf("wal: log tuples: item %v has no token", it)
+		}
+		out[i] = tok
+	}
+	return out, nil
+}
+
+func (s *Store) append(rec Record) error {
+	if s.closed {
+		return errors.New("wal: store closed")
+	}
+	if s.failed != nil {
+		return fmt.Errorf("wal: store failed, refusing append (restart to recover): %w", s.failed)
+	}
+	if s.oldestPending.IsZero() {
+		s.oldestPending = time.Now()
+	}
+	if _, err := s.log.Append(rec, s.opts.Encoding); err != nil {
+		return err
+	}
+	s.records.Add(1)
+	s.logBytes.Store(s.log.Size())
+	switch s.opts.Sync {
+	case SyncAlways:
+		if err := s.log.Sync(); err != nil {
+			// The record is in the file but the batch will be failed: later
+			// appends would land after a phantom record that recovery
+			// replays, silently shifting every subsequent tuple index.
+			// Latch instead; a restart replays a consistent prefix.
+			s.failed = err
+			return err
+		}
+		s.syncs.Add(1)
+		s.lastSync = time.Now()
+	case SyncInterval:
+		if time.Since(s.lastSync) >= s.opts.syncEvery() {
+			if err := s.log.Sync(); err != nil {
+				s.failed = err
+				return err
+			}
+			s.syncs.Add(1)
+			s.lastSync = time.Now()
+		}
+	case SyncNever:
+	}
+	return nil
+}
+
+// Committed runs the checkpoint policy. Part of the serve package's Journal
+// contract: called by the single writer after the logged batch has been
+// applied to the engine and the fresh snapshot published, which is the
+// earliest moment a checkpoint may cover the batch.
+func (s *Store) Committed() error {
+	if !s.shouldCheckpoint() {
+		return nil
+	}
+	return s.Checkpoint()
+}
+
+func (s *Store) shouldCheckpoint() bool {
+	pending := s.log.Size() - logHeaderSize
+	if pending <= 0 {
+		return false
+	}
+	if cb := s.opts.checkpointBytes(); cb > 0 && pending >= cb {
+		return true
+	}
+	if age := s.opts.CheckpointAge; age > 0 && time.Since(s.oldestPending) >= age {
+		return true
+	}
+	return false
+}
+
+// Checkpoint captures the engine's current state, installs it durably
+// (temp file, fsync, atomic rename, directory fsync) under the next epoch,
+// and truncates the log to that epoch. Belongs to the single writer; the
+// engine must not be mutated concurrently, which the serving core's writer
+// loop guarantees.
+func (s *Store) Checkpoint() error {
+	if s.closed {
+		return errors.New("wal: store closed")
+	}
+	if s.failed != nil {
+		return fmt.Errorf("wal: store failed (restart to recover): %w", s.failed)
+	}
+	st := s.eng.State()
+	next := s.log.Epoch() + 1
+	ck := &storage.Checkpoint{
+		Epoch:             next,
+		ConfigFingerprint: configFingerprint(s.cfg, s.eopts),
+		Relation:          s.eng.Relation(),
+		Valid:             st.Valid,
+		Candidates:        st.Candidates,
+		DataPatterns:      st.DataPatterns,
+		AnnotPatterns:     st.AnnotPatterns,
+		Counters:          countersFromStats(st.Stats),
+	}
+	if err := storage.WriteCheckpointFile(CheckpointPath(s.opts.Dir), ck); err != nil {
+		s.checkpointErrors.Add(1)
+		return err
+	}
+	if err := s.log.Truncate(next); err != nil {
+		// The checkpoint is installed but the log still carries the old
+		// epoch: recovery would discard anything appended to it. Latch the
+		// failure so appends refuse instead of losing acknowledged writes.
+		s.failed = err
+		s.checkpointErrors.Add(1)
+		return err
+	}
+	s.checkpoints.Add(1)
+	s.lastCheckpoint.Store(time.Now().UnixNano())
+	s.logBytes.Store(s.log.Size())
+	s.oldestPending = time.Time{}
+	return nil
+}
+
+// Close syncs and closes the log. Close the serving core first so the
+// writer loop has drained: records appended after Close are lost errors.
+// The store is unusable afterwards; reopen with Open.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.log.Close()
+}
+
+// applyRecord replays one log record through the engine's ordinary
+// incremental update paths, re-interning tokens (replay order matches the
+// original append order, so interning is deterministic).
+func (s *Store) applyRecord(rec Record) error {
+	dict := s.eng.Relation().Dictionary()
+	// annotItem resolves a logged annotation token. Lookup-first matters:
+	// a derived generalization label is a legal annotation in an update
+	// batch but is interned under a different kind, so blindly re-interning
+	// as a raw annotation would fail recovery forever.
+	annotItem := func(token string) (itemset.Item, error) {
+		if it, ok := dict.Lookup(token); ok {
+			if !it.IsAnnotation() {
+				return itemset.None, badRecord("token %q is a data value, not an annotation", token)
+			}
+			return it, nil
+		}
+		return dict.InternAnnotation(token)
+	}
+	switch rec.Kind {
+	case KindAddAnnotations, KindRemoveAnnotations:
+		updates := make([]relation.AnnotationUpdate, 0, len(rec.Updates))
+		for _, u := range rec.Updates {
+			it, err := annotItem(u.Annotation)
+			if err != nil {
+				return fmt.Errorf("wal: replay annotation %q: %w", u.Annotation, err)
+			}
+			updates = append(updates, relation.AnnotationUpdate{Index: u.Tuple, Annotation: it})
+		}
+		var err error
+		if rec.Kind == KindAddAnnotations {
+			_, err = s.eng.AddAnnotations(updates)
+		} else {
+			_, err = s.eng.RemoveAnnotations(updates)
+		}
+		return err
+	case KindAddTuples:
+		tuples := make([]relation.Tuple, 0, len(rec.Tuples))
+		annotated := false
+		for _, spec := range rec.Tuples {
+			items := make([]itemset.Item, 0, len(spec.Values)+len(spec.Annotations))
+			for _, tok := range spec.Values {
+				it, err := dict.InternData(tok)
+				if err != nil {
+					return fmt.Errorf("wal: replay tuple value %q: %w", tok, err)
+				}
+				items = append(items, it)
+			}
+			for _, tok := range spec.Annotations {
+				it, err := annotItem(tok)
+				if err != nil {
+					return fmt.Errorf("wal: replay tuple annotation %q: %w", tok, err)
+				}
+				items = append(items, it)
+			}
+			tu := relation.NewTuple(items...)
+			if tu.Annotated() {
+				annotated = true
+			}
+			tuples = append(tuples, tu)
+		}
+		// Route exactly as the serving writer does: any annotated tuple in
+		// the batch selects the Case 1 path.
+		var err error
+		if annotated {
+			_, err = s.eng.AddAnnotatedTuples(tuples)
+		} else {
+			_, err = s.eng.AddUnannotatedTuples(tuples)
+		}
+		return err
+	default:
+		return badRecord("unknown kind %v", rec.Kind)
+	}
+}
+
+// countersFromStats flattens engine lifetime counters into the checkpoint's
+// opaque counter block. Order is part of the on-disk format; append only.
+func countersFromStats(st incremental.Stats) []int64 {
+	return []int64{
+		int64(st.Bootstraps),
+		int64(st.Case1),
+		int64(st.Case2),
+		int64(st.Case3),
+		int64(st.Removals),
+		int64(st.Remines),
+		int64(st.Promotions),
+		int64(st.Demotions),
+		int64(st.Discoveries),
+	}
+}
+
+// statsFromCounters is the inverse of countersFromStats, tolerating shorter
+// blocks from older checkpoints.
+func statsFromCounters(c []int64) incremental.Stats {
+	var st incremental.Stats
+	fields := []*int{
+		&st.Bootstraps, &st.Case1, &st.Case2, &st.Case3, &st.Removals,
+		&st.Remines, &st.Promotions, &st.Demotions, &st.Discoveries,
+	}
+	for i, f := range fields {
+		if i < len(c) {
+			*f = int(c[i])
+		}
+	}
+	return st
+}

@@ -1,0 +1,133 @@
+// Package wal makes the serving store durable: a write-ahead log of serving
+// mutations plus periodic full-state checkpoints, so that a restarted server
+// recovers its mined rule state in time proportional to the un-checkpointed
+// update tail instead of re-mining the whole relation.
+//
+// # On-disk layout
+//
+// A Store owns one directory holding two files:
+//
+//	checkpoint.db — a full capture of serving state (relation, dictionary,
+//	                rule tiers, pattern catalogs, lifetime counters) in the
+//	                storage package's binary checkpoint format, installed by
+//	                atomic rename + fsync;
+//	wal.log       — an append-only sequence of length-prefixed, CRC-checked
+//	                mutation records (annotation add/remove batches and
+//	                tuple batches), in either a compact binary or a JSON
+//	                record encoding.
+//
+// The single serving writer appends each coalesced batch to the log before
+// it is applied to the engine (see the serve package's Journal hook), so an
+// acknowledged write is always either in the durable log or covered by a
+// newer checkpoint. After a checkpoint is durably installed the log is
+// truncated: recovery is always "load checkpoint, replay tail".
+//
+// # Recovery
+//
+// Open recovers whatever state the directory holds. A missing directory or
+// an empty one bootstraps from scratch (full mine) and writes the first
+// checkpoint; an existing checkpoint restores the engine without mining and
+// replays the log tail through the ordinary incremental update paths. A
+// torn final record — the expected artifact of a crash mid-append — is
+// detected by the length/CRC framing, dropped, and truncated away.
+//
+// Two generations of state are tied together by an epoch: each checkpoint
+// carries the epoch its successor log is stamped with, so a crash between
+// checkpoint install and log truncation (checkpoint newer than the log)
+// recovers by discarding the already-covered log instead of double-applying
+// it. Checkpoints also carry a fingerprint of the state-determining mining
+// configuration; Open refuses a mismatch. Anything else that fails
+// validation (bad magic, mid-log corruption, checkpoint trailing garbage,
+// a log with no checkpoint or a future epoch) is a hard error rather than
+// silent data loss.
+package wal
+
+import (
+	"fmt"
+	"time"
+)
+
+// Default tuning values; see Options.
+const (
+	// DefaultCheckpointBytes is the log size that triggers a checkpoint.
+	DefaultCheckpointBytes = 4 << 20
+	// DefaultSyncEvery is the fsync cadence under SyncInterval.
+	DefaultSyncEvery = 100 * time.Millisecond
+)
+
+// SyncPolicy says when the log file is fsynced.
+type SyncPolicy uint8
+
+const (
+	// SyncAlways fsyncs after every appended record: an acknowledged write
+	// survives an OS crash. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per Options.SyncEvery, trading the
+	// tail of a crash window for append throughput.
+	SyncInterval
+	// SyncNever leaves flushing to the OS page cache: a process crash loses
+	// nothing, an OS crash may lose the un-flushed tail.
+	SyncNever
+)
+
+// String names the policy using the flag spellings of cmd/annotserve.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", uint8(p))
+	}
+}
+
+// ParseSyncPolicy parses the flag spellings accepted by cmd/annotserve.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "", "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never", "none":
+		return SyncNever, nil
+	default:
+		return SyncAlways, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// Options tune a Store.
+type Options struct {
+	// Dir is the data directory. Created if absent. Required.
+	Dir string
+	// Sync says when appended records are fsynced.
+	Sync SyncPolicy
+	// SyncEvery is the fsync cadence under SyncInterval (0 means
+	// DefaultSyncEvery).
+	SyncEvery time.Duration
+	// Encoding selects the record encoding for appended records. Recovery
+	// always accepts both encodings regardless of this setting.
+	Encoding Encoding
+	// CheckpointBytes triggers a checkpoint when the log reaches this size.
+	// Zero means DefaultCheckpointBytes; negative disables the size policy.
+	CheckpointBytes int64
+	// CheckpointAge triggers a checkpoint when the oldest un-checkpointed
+	// record is at least this old. Zero disables the age policy.
+	CheckpointAge time.Duration
+}
+
+func (o Options) checkpointBytes() int64 {
+	if o.CheckpointBytes == 0 {
+		return DefaultCheckpointBytes
+	}
+	return o.CheckpointBytes
+}
+
+func (o Options) syncEvery() time.Duration {
+	if o.SyncEvery <= 0 {
+		return DefaultSyncEvery
+	}
+	return o.SyncEvery
+}

@@ -1,0 +1,581 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"annotadb/internal/incremental"
+	"annotadb/internal/mining"
+	"annotadb/internal/relation"
+	"annotadb/internal/storage"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Kind: KindAddAnnotations, Updates: []Update{{Tuple: 0, Annotation: "Annot_1"}, {Tuple: 149, Annotation: "Annot_3"}}},
+		{Kind: KindRemoveAnnotations, Updates: []Update{{Tuple: 7, Annotation: "Annot_5"}}},
+		{Kind: KindAddTuples, Tuples: []TupleSpec{
+			{Values: []string{"28", "85"}, Annotations: []string{"Annot_1"}},
+			{Values: []string{"62"}},
+		}},
+	}
+}
+
+func TestRecordRoundTripBothEncodings(t *testing.T) {
+	for _, enc := range []Encoding{EncodingBinary, EncodingJSON} {
+		for i, want := range testRecords() {
+			payload, err := encodePayload(want, enc)
+			if err != nil {
+				t.Fatalf("%v record %d: encode: %v", enc, i, err)
+			}
+			got, err := decodePayload(payload)
+			if err != nil {
+				t.Fatalf("%v record %d: decode: %v", enc, i, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%v record %d: round trip = %+v, want %+v", enc, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRecordRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty payload":    {},
+		"unknown kind":     {byte(EncodingBinary), 99},
+		"unknown encoding": {42, byte(KindAddTuples)},
+		"truncated body":   {byte(EncodingBinary), byte(KindAddAnnotations), 5},
+		"bad JSON":         {byte(EncodingJSON), byte(KindAddTuples), '{'},
+	}
+	for name, payload := range cases {
+		if _, err := decodePayload(payload); err == nil {
+			t.Errorf("%s: decoded successfully, want error", name)
+		}
+	}
+}
+
+func replayAll(t *testing.T, l *Log) ([]Record, ReplayInfo) {
+	t.Helper()
+	var got []Record
+	info, err := l.Replay(func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, info
+}
+
+func TestLogAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	for _, enc := range []Encoding{EncodingBinary, EncodingJSON} {
+		l, err := OpenLog(path, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, info := replayAll(t, l); info.Records != 0 || info.TornTail {
+			t.Fatalf("%v: fresh log replay = %+v, want empty", enc, info)
+		}
+		want := testRecords()
+		for _, rec := range want {
+			if _, err := l.Append(rec, enc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		l, err = OpenLog(path, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, info := replayAll(t, l)
+		if info.TornTail {
+			t.Errorf("%v: clean log reported torn tail", enc)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: replay = %+v, want %+v", enc, got, want)
+		}
+		if err := l.Truncate(1); err != nil { // reset for the next encoding
+			t.Fatal(err)
+		}
+		l.Close()
+	}
+}
+
+// TestLogTornTail truncates the log at every byte offset inside the final
+// record and checks recovery: all fully-written records replay, the torn
+// tail is dropped and truncated away, and appends resume cleanly.
+func TestLogTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := OpenLog(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := testRecords()
+	var sizes []int64
+	for _, rec := range records {
+		n, err := l.Append(rec, EncodingBinary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, n)
+	}
+	full := l.Size()
+	l.Close()
+	lastStart := full - sizes[len(sizes)-1]
+	// A cut exactly on the record boundary is indistinguishable from a
+	// clean log with one fewer record; torn detection starts one byte in.
+	for cut := lastStart + 1; cut < full; cut++ {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tornPath := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(tornPath, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tl, err := OpenLog(tornPath, 1)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		got, info := replayAll(t, tl)
+		if !info.TornTail {
+			t.Errorf("cut %d: torn tail not detected", cut)
+		}
+		if len(got) != len(records)-1 {
+			t.Errorf("cut %d: replayed %d records, want %d", cut, len(got), len(records)-1)
+		}
+		if tl.Size() != lastStart {
+			t.Errorf("cut %d: size after truncation %d, want %d", cut, tl.Size(), lastStart)
+		}
+		// The log must accept appends again and replay them next open.
+		if _, err := tl.Append(records[len(records)-1], EncodingBinary); err != nil {
+			t.Fatalf("cut %d: append after truncation: %v", cut, err)
+		}
+		tl.Close()
+		tl, err = OpenLog(tornPath, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, info = replayAll(t, tl)
+		if info.TornTail || len(got) != len(records) {
+			t.Errorf("cut %d: after repair replay = %d records (torn %v), want %d", cut, len(got), info.TornTail, len(records))
+		}
+		tl.Close()
+	}
+}
+
+func TestLogCorruptTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenLog(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := testRecords()
+	for _, rec := range records {
+		if _, err := l.Append(rec, EncodingBinary); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Flip a byte in the last record's payload: the CRC catches it and the
+	// record is dropped as a torn tail.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err = OpenLog(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got, info := replayAll(t, l)
+	if !info.TornTail || len(got) != len(records)-1 {
+		t.Errorf("corrupt tail: replay = %d records (torn %v), want %d records, torn", len(got), info.TornTail, len(records)-1)
+	}
+}
+
+func TestOpenLogRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notawal.log")
+	if err := os.WriteFile(path, []byte("definitely not a wal file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLog(path, 1); err == nil {
+		t.Fatal("OpenLog accepted a foreign file")
+	}
+}
+
+func TestReplayPropagatesCallbackError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenLog(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(testRecords()[0], EncodingBinary); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, err := l.Replay(func(Record) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("replay error = %v, want %v", err, boom)
+	}
+}
+
+// --- store-level fixtures shared with recovery_test.go -------------------
+
+func fixtureRelation() *relation.Relation {
+	return relation.FromTokens(
+		[][]string{
+			{"28", "85", "99"},
+			{"28", "85", "12"},
+			{"28", "85", "40"},
+			{"28", "85", "41"},
+			{"28", "85"},
+			{"28", "41"},
+			{"41", "85"},
+			{"62", "12"},
+			{"62", "40"},
+			{"99", "12"},
+		},
+		[][]string{
+			{"Annot_1", "Annot_5"},
+			{"Annot_1", "Annot_5"},
+			{"Annot_1", "Annot_5"},
+			{"Annot_1"},
+			{"Annot_1"},
+			nil,
+			{"Annot_5"},
+			nil,
+			nil,
+			nil,
+		},
+	)
+}
+
+func testCfg() mining.Config {
+	return mining.Config{MinSupport: 0.3, MinConfidence: 0.7, Parallelism: 1}
+}
+
+func openFixtureStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(opts, testCfg(), incremental.Options{}, func() (*relation.Relation, error) {
+		return fixtureRelation(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStoreBootstrapsEmptyDirAndRecovers(t *testing.T) {
+	opts := Options{Dir: t.TempDir()}
+	s := openFixtureStore(t, opts)
+	if rec := s.Recovery(); rec.FromCheckpoint || rec.Records != 0 {
+		t.Fatalf("fresh dir recovery = %+v, want bootstrap", rec)
+	}
+	if s.Stats().Checkpoints != 1 {
+		t.Errorf("bootstrap wrote %d checkpoints, want 1 (the initial one)", s.Stats().Checkpoints)
+	}
+	wantRules := s.Engine().RulesView().Len()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the engine must come back from the checkpoint, not a mine.
+	s2 := openFixtureStore(t, opts)
+	rec := s2.Recovery()
+	if !rec.FromCheckpoint || rec.Records != 0 || rec.TornTail {
+		t.Fatalf("reopen recovery = %+v, want from-checkpoint with empty log", rec)
+	}
+	if got := s2.Engine().RulesView().Len(); got != wantRules {
+		t.Errorf("recovered %d rules, want %d", got, wantRules)
+	}
+	if st := s2.Engine().Stats(); st.Bootstraps != 1 {
+		t.Errorf("engine bootstraps after recovery = %d, want 1 (no re-mine)", st.Bootstraps)
+	}
+	if err := s2.Engine().Verify(); err != nil {
+		t.Errorf("recovered state fails re-mine verification: %v", err)
+	}
+}
+
+func TestStoreLogsAndReplaysAllMutationKinds(t *testing.T) {
+	opts := Options{Dir: t.TempDir()}
+	s := openFixtureStore(t, opts)
+	dict := s.Engine().Relation().Dictionary()
+	a1, _ := dict.Lookup("Annot_1")
+	a5, _ := dict.Lookup("Annot_5")
+
+	// One record of each kind, including a duplicate attachment (skipped by
+	// the engine, and must be skipped identically at replay).
+	if err := s.LogTuples([]relation.Tuple{relation.MustTuple(dict, []string{"28", "85"}, []string{"Annot_1"})}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Engine().AddAnnotatedTuples([]relation.Tuple{relation.MustTuple(dict, []string{"28", "85"}, []string{"Annot_1"})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LogAnnotations([]relation.AnnotationUpdate{{Index: 5, Annotation: a1}, {Index: 0, Annotation: a1}}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Engine().AddAnnotations([]relation.AnnotationUpdate{{Index: 5, Annotation: a1}, {Index: 0, Annotation: a1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LogAnnotations([]relation.AnnotationUpdate{{Index: 6, Annotation: a5}}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Engine().RemoveAnnotations([]relation.AnnotationUpdate{{Index: 6, Annotation: a5}}); err != nil {
+		t.Fatal(err)
+	}
+	// Zero-length batches must append nothing.
+	if err := s.LogAnnotations(nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LogTuples(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Records; got != 3 {
+		t.Fatalf("logged %d records, want 3 (empty batches excluded)", got)
+	}
+	wantView := renderedRules(s.Engine())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openFixtureStore(t, opts)
+	rec := s2.Recovery()
+	if !rec.FromCheckpoint || rec.Records != 3 || rec.TornTail {
+		t.Fatalf("recovery = %+v, want from-checkpoint with 3 replayed records", rec)
+	}
+	if got := renderedRules(s2.Engine()); !reflect.DeepEqual(got, wantView) {
+		t.Errorf("recovered rules:\n%v\nwant:\n%v", got, wantView)
+	}
+	if err := s2.Engine().Verify(); err != nil {
+		t.Errorf("recovered state fails re-mine verification: %v", err)
+	}
+	if err := s2.Engine().Relation().CheckInvariants(); err != nil {
+		t.Errorf("recovered relation invariants: %v", err)
+	}
+}
+
+func TestStoreCheckpointPolicyTruncatesLog(t *testing.T) {
+	opts := Options{Dir: t.TempDir(), CheckpointBytes: 1} // checkpoint after every committed batch
+	s := openFixtureStore(t, opts)
+	dict := s.Engine().Relation().Dictionary()
+	a1, _ := dict.Lookup("Annot_1")
+	if err := s.LogAnnotations([]relation.AnnotationUpdate{{Index: 5, Annotation: a1}}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Engine().AddAnnotations([]relation.AnnotationUpdate{{Index: 5, Annotation: a1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Committed(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Checkpoints != 2 { // initial + policy-triggered
+		t.Errorf("checkpoints = %d, want 2", st.Checkpoints)
+	}
+	if st.LogBytes != int64(logHeaderSize) {
+		t.Errorf("log bytes after checkpoint = %d, want %d (empty)", st.LogBytes, logHeaderSize)
+	}
+	if st.LastCheckpointUnixNano == 0 {
+		t.Error("LastCheckpointUnixNano not stamped")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openFixtureStore(t, opts)
+	if rec := s2.Recovery(); !rec.FromCheckpoint || rec.Records != 0 {
+		t.Fatalf("recovery after checkpoint = %+v, want from-checkpoint with empty log", rec)
+	}
+	if err := s2.Engine().Verify(); err != nil {
+		t.Errorf("recovered state fails re-mine verification: %v", err)
+	}
+}
+
+func TestStoreRejectsCheckpointTrailingGarbage(t *testing.T) {
+	dir := t.TempDir()
+	s := openFixtureStore(t, Options{Dir: dir})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(CheckpointPath(dir), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("trailing garbage"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err = Open(Options{Dir: dir}, testCfg(), incremental.Options{}, nil)
+	var ce *storage.ErrCheckpointCorrupt
+	if !errors.As(err, &ce) {
+		t.Fatalf("open with garbage checkpoint = %v, want checkpoint corruption error", err)
+	}
+}
+
+func TestStoreRefusesOrphanLog(t *testing.T) {
+	dir := t.TempDir()
+	s := openFixtureStore(t, Options{Dir: dir})
+	dict := s.Engine().Relation().Dictionary()
+	a1, _ := dict.Lookup("Annot_1")
+	if err := s.LogAnnotations([]relation.AnnotationUpdate{{Index: 5, Annotation: a1}}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(CheckpointPath(dir)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}, testCfg(), incremental.Options{}, func() (*relation.Relation, error) {
+		return fixtureRelation(), nil
+	}); err == nil {
+		t.Fatal("Open bootstrapped over an orphan log")
+	}
+}
+
+// renderedRules renders an engine's valid rules with its own dictionary,
+// giving a representation comparable across engines whose interning order
+// differs.
+func renderedRules(eng *incremental.Engine) []string {
+	dict := eng.Relation().Dictionary()
+	view := eng.RulesView()
+	out := make([]string, 0, view.Len())
+	for _, r := range view.Sorted() {
+		out = append(out, r.Format(dict))
+	}
+	return out
+}
+
+// TestStoreDropsStaleLogAfterCheckpointTruncateCrash simulates the crash
+// window between checkpoint install and log truncation: the checkpoint
+// already folds in every logged record, so recovery must discard the log
+// (older epoch) instead of double-applying it.
+func TestStoreDropsStaleLogAfterCheckpointTruncateCrash(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, CheckpointBytes: -1}
+	s := openFixtureStore(t, opts)
+	dict := s.Engine().Relation().Dictionary()
+
+	// Log and apply a tuple batch, then capture the log as it stood.
+	tu := relation.MustTuple(dict, []string{"28", "85"}, []string{"Annot_1"})
+	if err := s.LogTuples([]relation.Tuple{tu}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Engine().AddAnnotatedTuples([]relation.Tuple{tu.Clone()}); err != nil {
+		t.Fatal(err)
+	}
+	staleLog, err := os.ReadFile(LogPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTuples := s.Engine().Relation().Len()
+	wantRules := renderedRules(s.Engine())
+
+	// Checkpoint (install + truncate), then put the pre-truncation log
+	// back: exactly the state a crash in the window leaves behind.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(LogPath(dir), staleLog, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openFixtureStore(t, opts)
+	rec := s2.Recovery()
+	if !rec.FromCheckpoint || !rec.StaleLogDropped || rec.Records != 0 {
+		t.Fatalf("recovery = %+v, want from-checkpoint with stale log dropped and 0 replayed", rec)
+	}
+	if got := s2.Engine().Relation().Len(); got != wantTuples {
+		t.Errorf("recovered %d tuples, want %d (stale log double-applied?)", got, wantTuples)
+	}
+	if got := renderedRules(s2.Engine()); !reflect.DeepEqual(got, wantRules) {
+		t.Errorf("recovered rules:\n%v\nwant:\n%v", got, wantRules)
+	}
+	if err := s2.Engine().Verify(); err != nil {
+		t.Errorf("recovered state fails re-mine verification: %v", err)
+	}
+	// The log must now carry the checkpoint's epoch and accept new records.
+	if s2.HasPendingRecords() {
+		t.Error("dropped log still reports pending records")
+	}
+}
+
+// TestStoreRefusesConfigMismatch pins the fingerprint check: reopening a
+// data dir under different thresholds must fail loudly, not serve rules
+// mined under the old ones.
+func TestStoreRefusesConfigMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := openFixtureStore(t, Options{Dir: dir})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+	cfg.MinSupport = 0.2 // not what the checkpoint was mined under
+	_, err := Open(Options{Dir: dir}, cfg, incremental.Options{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "different mining configuration") {
+		t.Fatalf("open under changed thresholds = %v, want config-mismatch error", err)
+	}
+	// Matching configuration still opens.
+	s2, err := Open(Options{Dir: dir}, testCfg(), incremental.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+}
+
+// TestLogMidCorruptionIsHardError pins the boundary between a torn tail
+// (last record, truncate and continue) and mid-log damage (intact records
+// follow the bad frame; truncating would discard durable acknowledged
+// records, so Replay must refuse).
+func TestLogMidCorruptionIsHardError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenLog(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := testRecords()
+	var offsets []int64
+	at := l.Size()
+	for _, rec := range records {
+		n, err := l.Append(rec, EncodingBinary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, at)
+		at += n
+	}
+	l.Close()
+	// Flip a payload byte of the FIRST record: two intact records follow.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[offsets[0]+frameHeaderSize] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err = OpenLog(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	_, err = l.Replay(func(Record) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "mid-log corruption") {
+		t.Fatalf("replay over mid-log damage = %v, want hard mid-log corruption error", err)
+	}
+}

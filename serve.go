@@ -11,12 +11,19 @@ import (
 	"annotadb/internal/relation"
 	"annotadb/internal/serve"
 	"annotadb/internal/storage"
+	"annotadb/internal/wal"
 )
 
 // ErrServerClosed is returned by Server write methods after Close. Callers
 // mapping it to a transport status should treat it as unavailability (the
 // process is shutting down), not as a request defect.
 var ErrServerClosed = serve.ErrClosed
+
+// ErrJournal wraps write failures caused by the durable store's write-ahead
+// log (e.g. a full disk). The batch was valid but was not applied; callers
+// mapping it to a transport status should report a server-side failure, not
+// a request defect, and the client may retry.
+var ErrJournal = serve.ErrJournal
 
 // ServeOptions configure a Server's write coalescing and recommendation
 // filtering.
@@ -46,6 +53,11 @@ type ServeOptions struct {
 type Server struct {
 	ds   *Dataset
 	core *serve.Server
+	// store is the durable backing store (nil for in-memory servers): the
+	// serving writer journals every batch to it, and Close checkpoints and
+	// closes it. storeClosed makes that final step run exactly once.
+	store       *wal.Store
+	storeClosed atomic.Bool
 
 	// rendered memoizes the token-rendered rules of one snapshot, so that
 	// serving GET /rules-style reads does not re-resolve dictionary tokens
@@ -60,21 +72,51 @@ type renderedRules struct {
 }
 
 // NewServer wraps an engine in a serving core and starts its writer loop.
+// An engine from OpenDurable brings its durable store along: the writer
+// journals every batch to the write-ahead log before applying it.
 func NewServer(e *Engine, opts ServeOptions) *Server {
+	cfg := serve.Config{
+		BatchWindow: opts.BatchWindow,
+		MaxBatch:    opts.MaxBatch,
+		QueueDepth:  opts.QueueDepth,
+		Recommend:   opts.Recommend.internal(),
+	}
+	if e.store != nil {
+		cfg.Journal = e.store
+	}
 	return &Server{
-		ds: e.ds,
-		core: serve.New(e.eng, serve.Config{
-			BatchWindow: opts.BatchWindow,
-			MaxBatch:    opts.MaxBatch,
-			QueueDepth:  opts.QueueDepth,
-			Recommend:   opts.Recommend.internal(),
-		}),
+		ds:    e.ds,
+		core:  serve.New(e.eng, cfg),
+		store: e.store,
 	}
 }
 
 // Close drains queued updates and stops the writer loop, waiting up to ctx.
+// A durable server then writes a final checkpoint (so the next open replays
+// nothing; skipped when the log is already empty) and closes its store.
 // Reads remain valid (and final) after Close; writes fail with an error.
-func (s *Server) Close(ctx context.Context) error { return s.core.Close(ctx) }
+// Close is idempotent: later calls return nil once the first completed.
+func (s *Server) Close(ctx context.Context) error {
+	err := s.core.Close(ctx)
+	if s.store == nil || err != nil {
+		// On a drain timeout the writer may still be running; leave the
+		// store to it — every applied batch is already in the synced log,
+		// so recovery replays it. Only a clean drain may checkpoint.
+		return err
+	}
+	if !s.storeClosed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if s.store.HasPendingRecords() {
+		if ckErr := s.store.Checkpoint(); ckErr != nil {
+			err = ckErr
+		}
+	}
+	if closeErr := s.store.Close(); closeErr != nil && err == nil {
+		err = closeErr
+	}
+	return err
+}
 
 // Dataset returns the served dataset (treat as read-only).
 func (s *Server) Dataset() *Dataset { return s.ds }
