@@ -1,9 +1,11 @@
 // Command annotserve serves a mined, incrementally maintained rule set over
 // HTTP/JSON: the paper's discover–maintain–exploit loop as an online system
-// instead of a batch menu. Rules and recommendations are answered from an
-// immutable snapshot that is republished after every coalesced update
-// batch, so reads stay fast and consistent while annotation batches stream
-// in.
+// instead of a batch menu. Rules, tuple contents, and recommendations are
+// all answered from one immutable snapshot that is republished after every
+// coalesced update batch — a recommendation can never pair a tuple with
+// rules from a different generation — and /recommend and /stats report the
+// snapshot sequence (seq) they were served from, so reads stay fast and
+// consistent while annotation batches stream in.
 //
 // Usage:
 //
@@ -24,7 +26,9 @@
 //
 //	GET  /rules        current rules (?kind=, ?limit=)
 //	GET  /recommend    ?tuple=N (zero-based) — missing-annotation
-//	                   recommendations for one tuple
+//	                   recommendations for one tuple, tagged with the
+//	                   snapshot seq they came from; negative N is 400,
+//	                   beyond-the-snapshot N is 404
 //	POST /annotations  apply an annotation batch: JSON
 //	                   {"updates":[{"tuple":0,"annotation":"Annot_3"}]}
 //	                   with optional "remove":true, or a text/plain body in
@@ -367,7 +371,12 @@ func (a *api) recommend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeInvalidArgument, fmt.Errorf("bad tuple index %q", tupleStr))
 		return
 	}
-	recs, err := a.srv.Recommend(idx)
+	if idx < 0 {
+		// Malformed input, not a miss: no negative index can ever exist.
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, fmt.Errorf("tuple index must be non-negative, got %d", idx))
+		return
+	}
+	recs, seq, err := a.srv.Recommend(idx)
 	if err != nil {
 		writeError(w, http.StatusNotFound, codeNotFound, err)
 		return
@@ -380,7 +389,7 @@ func (a *api) recommend(w http.ResponseWriter, r *http.Request) {
 			Rule:       toRuleJSON(rec.Rule),
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"tuple": idx, "count": len(out), "recommendations": out})
+	writeJSON(w, http.StatusOK, map[string]any{"tuple": idx, "seq": seq, "count": len(out), "recommendations": out})
 }
 
 type annotationsRequest struct {
@@ -453,25 +462,26 @@ func (a *api) tuples(w http.ResponseWriter, r *http.Request) {
 
 func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 	st := a.srv.Stats()
-	// Annotation counters come from the maintained frequency table
-	// (O(#annotations)); a full Dataset.Stats() scan would hold the
-	// relation read lock for O(#tuples) on every poll and stall the writer.
-	annots := a.srv.Dataset().Annotations()
-	attachments := 0
-	for _, ac := range annots {
-		attachments += ac.Count
-	}
+	// The relation section (tuples, attachments, distinct annotations)
+	// describes the published snapshot's generation, computed from its
+	// frozen frequency table: polling /stats never takes the relation lock
+	// for more than the single live-version read, so it cannot stall the
+	// writer. staleness is how many relation mutations the live store is
+	// ahead of the generation reads are currently served from.
 	body := map[string]any{
 		"snapshot_seq":         st.SnapshotSeq,
 		"tuples":               st.Tuples,
 		"rule_count":           st.RuleCount,
+		"rel_version":          st.RelVersion,
+		"live_rel_version":     st.LiveRelVersion,
+		"staleness":            st.LiveRelVersion - st.RelVersion,
 		"requests":             st.Requests,
 		"batches":              st.Batches,
 		"coalesced":            st.Coalesced,
 		"reads":                st.Reads,
 		"remines":              st.Remines,
-		"attachments":          attachments,
-		"distinct_annotations": len(annots),
+		"attachments":          st.Attachments,
+		"distinct_annotations": st.DistinctAnnotations,
 	}
 	if d := a.srv.Durability(); d != nil {
 		durability := map[string]any{

@@ -145,6 +145,7 @@ func TestRecommendEndpoint(t *testing.T) {
 	// Annot_5=>Annot_1 if that rule is valid at 0.3/0.7 (4/5 conf = 0.8).
 	var body struct {
 		Tuple           int                  `json:"tuple"`
+		Seq             uint64               `json:"seq"`
 		Count           int                  `json:"count"`
 		Recommendations []recommendationJSON `json:"recommendations"`
 	}
@@ -153,6 +154,9 @@ func TestRecommendEndpoint(t *testing.T) {
 	}
 	if body.Tuple != 6 {
 		t.Errorf("tuple echoed as %d", body.Tuple)
+	}
+	if body.Seq == 0 {
+		t.Error("/recommend response missing the snapshot seq it was served from")
 	}
 	foundA1 := false
 	for _, rec := range body.Recommendations {
@@ -173,8 +177,28 @@ func TestRecommendEndpoint(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/recommend?tuple=banana", nil); code != http.StatusBadRequest {
 		t.Errorf("GET /recommend?tuple=banana = %d, want 400", code)
 	}
-	if code := getJSON(t, ts.URL+"/recommend?tuple=999", nil); code != http.StatusNotFound {
+
+	// A negative index is malformed input (no tuple can ever live there):
+	// 400 invalid_argument. An in-range-shaped index that is simply absent
+	// is a miss: 404 not_found.
+	var errBody struct {
+		Error errorJSON `json:"error"`
+	}
+	for _, q := range []string{"-1", "-999"} {
+		errBody.Error = errorJSON{}
+		if code := getJSON(t, ts.URL+"/recommend?tuple="+q, &errBody); code != http.StatusBadRequest {
+			t.Errorf("GET /recommend?tuple=%s = %d, want 400", q, code)
+		}
+		if errBody.Error.Code != codeInvalidArgument {
+			t.Errorf("tuple=%s error code = %q, want %q", q, errBody.Error.Code, codeInvalidArgument)
+		}
+	}
+	errBody.Error = errorJSON{}
+	if code := getJSON(t, ts.URL+"/recommend?tuple=999", &errBody); code != http.StatusNotFound {
 		t.Errorf("GET /recommend?tuple=999 = %d, want 404", code)
+	}
+	if errBody.Error.Code != codeNotFound {
+		t.Errorf("tuple=999 error code = %q, want %q", errBody.Error.Code, codeNotFound)
 	}
 }
 

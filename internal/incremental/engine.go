@@ -305,11 +305,15 @@ func (e *Engine) rulesViewLocked() *rules.View {
 }
 
 // Snapshot is a consistent capture of the engine's externally visible state,
-// taken under one lock acquisition: the rule view, the thresholds' world
-// size, the relation version the rules correspond to, and the lifetime
-// counters. Everything in a Snapshot is immutable and safe to share.
+// taken under one lock acquisition: the rule view, the relation generation
+// those rules were maintained against, the thresholds' world size, and the
+// lifetime counters. Everything in a Snapshot is immutable and safe to
+// share; in particular Rules and Relation are guaranteed to belong to the
+// same generation, so a reader that evaluates Rules against a tuple fetched
+// from Relation can never see a torn pairing.
 type Snapshot struct {
 	Rules      *rules.View
+	Relation   *relation.View
 	N          int
 	MinCount   int
 	RelVersion uint64
@@ -317,14 +321,19 @@ type Snapshot struct {
 }
 
 // Snapshot captures the current state atomically with respect to updates.
+// The engine lock orders the capture against mutating paths, and every
+// mutating path updates the relation before reclassifying rules, so the
+// returned rule view is exactly the rule set of the returned relation view.
 func (e *Engine) Snapshot() Snapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	rv := e.rel.View()
 	return Snapshot{
 		Rules:      e.rulesViewLocked(),
+		Relation:   rv,
 		N:          e.n,
 		MinCount:   e.minCount,
-		RelVersion: e.rel.Version(),
+		RelVersion: rv.Version(),
 		Stats:      e.stats,
 	}
 }

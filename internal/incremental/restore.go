@@ -17,6 +17,10 @@ import (
 // the mining configuration — so a (relation, Config, State) triple restores
 // an engine observationally identical to the one that produced it.
 type State struct {
+	// Relation is the pinned relation generation the rest of the state was
+	// captured against. State fills it for checkpoint writers; Restore
+	// ignores it (the live relation is passed to Restore separately).
+	Relation *relation.View
 	// Valid is the valid rule set; Candidates the near-miss slack pool.
 	Valid      *rules.Set
 	Candidates *rules.Set
@@ -29,12 +33,15 @@ type State struct {
 }
 
 // State captures the persistable engine state under one lock acquisition.
-// Everything returned is deeply copied: the caller may serialize it at
-// leisure while the engine keeps applying updates.
+// Everything returned is immutable or deeply copied — the relation is
+// pinned as a copy-on-write view rather than cloned — so the caller may
+// serialize it at leisure while the engine keeps applying updates, without
+// holding any engine or relation lock.
 func (e *Engine) State() State {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return State{
+		Relation:      e.rel.View(),
 		Valid:         e.valid.Clone(),
 		Candidates:    e.cands.Clone(),
 		DataPatterns:  e.dataCat.Clone(),

@@ -101,13 +101,15 @@ func (c *Compiled) ForTupleAt(tu relation.Tuple, idx int) []Recommendation {
 	return out
 }
 
-// ScanRange scans tuple positions [start, end) of rel against the compiled
-// rules, mirroring Recommender.ScanRange.
-func (c *Compiled) ScanRange(rel *relation.Relation, start, end int) []Recommendation {
+// ScanRange scans tuple positions [start, end) of src against the compiled
+// rules, mirroring Recommender.ScanRange. src is any read-only relation
+// face: the live *relation.Relation (locked reads) or an immutable
+// *relation.View (lock-free reads from a published generation).
+func (c *Compiled) ScanRange(src relation.Source, start, end int) []Recommendation {
 	if start < 0 {
 		start = 0
 	}
-	if n := rel.Len(); end > n {
+	if n := src.Len(); end > n {
 		end = n
 	}
 	if start >= end {
@@ -118,7 +120,7 @@ func (c *Compiled) ScanRange(rel *relation.Relation, start, end int) []Recommend
 		a   itemset.Item
 	}
 	best := make(map[key]rules.Rule)
-	rel.EachFrom(start, func(i int, tu relation.Tuple) bool {
+	src.EachFrom(start, func(i int, tu relation.Tuple) bool {
 		if i >= end {
 			return false
 		}

@@ -94,13 +94,14 @@ func (s StaticRules) Rules() *rules.Set { return s.Set }
 
 // Recommender scans a relation against a rule source.
 type Recommender struct {
-	rel  *relation.Relation
+	rel  relation.Source
 	src  RuleSource
 	opts Options
 }
 
-// NewRecommender builds a recommender over rel and src.
-func NewRecommender(rel *relation.Relation, src RuleSource, opts Options) *Recommender {
+// NewRecommender builds a recommender over rel and src. rel may be the live
+// *relation.Relation or an immutable *relation.View.
+func NewRecommender(rel relation.Source, src RuleSource, opts Options) *Recommender {
 	return &Recommender{rel: rel, src: src, opts: opts}
 }
 

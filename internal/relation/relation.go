@@ -87,15 +87,32 @@ type AnnotationUpdate struct {
 //   - a monotonically increasing version number, bumped on every mutation,
 //     that lets downstream caches detect staleness.
 //
+// Storage is chunked and copy-on-write: View captures the current
+// generation as an immutable *View in O(1), and subsequent mutations copy
+// only the chunks, postings, and map headers they touch, so generations
+// share structure. Mutation cost is O(delta) in the batch size plus an
+// O(chunks + annotations) once-per-generation bookkeeping term.
+//
 // All methods are safe for concurrent use. Read methods hand out internal
 // slices; callers must treat them as read-only.
 type Relation struct {
-	mu      sync.RWMutex
-	dict    *Dictionary
-	tuples  []Tuple
-	index   map[itemset.Item][]int // annotation → ascending tuple positions
-	freq    map[itemset.Item]int   // annotation → tuple count
-	version uint64
+	mu   sync.RWMutex
+	dict *Dictionary
+	st   store
+
+	// view memoizes the current generation between mutations; capturing it
+	// seals the store (epoch bump), and the next mutation copies what it
+	// touches instead of writing memory the view can reach.
+	view  *View
+	epoch uint64
+
+	// Ownership generations: a structure may be written in place only when
+	// its generation matches epoch; otherwise it is (or may be) shared with
+	// a captured view and must be copied first.
+	spineGen uint64                  // chunk spine ([][]Tuple header array)
+	mapsGen  uint64                  // index and freq map headers
+	chunkGen []uint64                // per-chunk backing array
+	postGen  map[itemset.Item]uint64 // per-annotation postings backing array
 }
 
 // New creates an empty relation backed by a fresh dictionary.
@@ -108,9 +125,15 @@ func NewWithDictionary(dict *Dictionary) *Relation {
 		dict = NewDictionary()
 	}
 	return &Relation{
-		dict:  dict,
-		index: make(map[itemset.Item][]int),
-		freq:  make(map[itemset.Item]int),
+		dict: dict,
+		st: store{
+			index: make(map[itemset.Item][]int),
+			freq:  make(map[itemset.Item]int),
+		},
+		epoch:    1,
+		spineGen: 1,
+		mapsGen:  1,
+		postGen:  make(map[itemset.Item]uint64),
 	}
 }
 
@@ -121,14 +144,121 @@ func (r *Relation) Dictionary() *Dictionary { return r.dict }
 func (r *Relation) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.tuples)
+	return r.st.n
 }
 
 // Version returns the mutation counter.
 func (r *Relation) Version() uint64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.version
+	return r.st.version
+}
+
+// View captures the current generation as an immutable View in O(1). The
+// view is memoized: between mutations, repeated calls return the same
+// pointer. Capturing seals the live store — the next mutation pays a
+// copy-on-write of whatever it touches — so views are cheap to take per
+// batch but not free to take per tuple.
+func (r *Relation) View() *View {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.viewLocked()
+}
+
+func (r *Relation) viewLocked() *View {
+	if r.view == nil {
+		r.view = &View{dict: r.dict, st: r.st}
+		r.epoch++
+	}
+	return r.view
+}
+
+// beginMutation invalidates the memoized view and un-shares the structures
+// every mutation touches: the chunk spine and the index/frequency map
+// headers. Individual chunks and postings are un-shared lazily by
+// writableChunk and writablePostings. Callers must hold the write lock.
+func (r *Relation) beginMutation() {
+	r.view = nil
+	if r.spineGen != r.epoch {
+		spine := make([][]Tuple, len(r.st.chunks), len(r.st.chunks)+1)
+		copy(spine, r.st.chunks)
+		r.st.chunks = spine
+		r.spineGen = r.epoch
+	}
+	if r.mapsGen != r.epoch {
+		index := make(map[itemset.Item][]int, len(r.st.index))
+		for a, p := range r.st.index {
+			index[a] = p
+		}
+		freq := make(map[itemset.Item]int, len(r.st.freq))
+		for a, n := range r.st.freq {
+			freq[a] = n
+		}
+		r.st.index, r.st.freq = index, freq
+		r.mapsGen = r.epoch
+	}
+}
+
+// writableChunk returns chunk c, copied first if a captured view may still
+// reference its backing array.
+func (r *Relation) writableChunk(c int) []Tuple {
+	if r.chunkGen[c] != r.epoch {
+		old := r.st.chunks[c]
+		fresh := make([]Tuple, len(old), chunkSize)
+		copy(fresh, old)
+		r.st.chunks[c] = fresh
+		r.chunkGen[c] = r.epoch
+	}
+	return r.st.chunks[c]
+}
+
+// writablePostings returns the postings slice for a, copied first if a
+// captured view may still reference it. The caller must store the slice
+// back into the index after appending.
+func (r *Relation) writablePostings(a itemset.Item) []int {
+	if r.postGen[a] == r.epoch {
+		return r.st.index[a]
+	}
+	old := r.st.index[a]
+	fresh := make([]int, len(old), len(old)+4)
+	copy(fresh, old)
+	r.st.index[a] = fresh
+	r.postGen[a] = r.epoch
+	return fresh
+}
+
+// attach attaches a to tuple i, maintaining the index and frequency table.
+// The caller has validated the update and called beginMutation.
+func (r *Relation) attach(i int, a itemset.Item) {
+	ch := r.writableChunk(i >> chunkShift)
+	t := &ch[i&chunkMask]
+	t.Annots = t.Annots.Add(a)
+	p := r.writablePostings(a)
+	at := sort.SearchInts(p, i)
+	p = append(p, 0)
+	copy(p[at+1:], p[at:])
+	p[at] = i
+	r.st.index[a] = p
+	r.st.freq[a]++
+}
+
+// detach removes a from tuple i, maintaining the index and frequency table.
+// The caller has validated the update and called beginMutation.
+func (r *Relation) detach(i int, a itemset.Item) {
+	ch := r.writableChunk(i >> chunkShift)
+	t := &ch[i&chunkMask]
+	t.Annots = t.Annots.Remove(a)
+	p := r.writablePostings(a)
+	at := sort.SearchInts(p, i)
+	if at < len(p) && p[at] == i {
+		p = append(p[:at], p[at+1:]...)
+		if len(p) == 0 {
+			delete(r.st.index, a)
+		} else {
+			r.st.index[a] = p
+		}
+	}
+	r.st.freq[a]--
 }
 
 // Tuple returns the tuple at position i. The returned value shares backing
@@ -136,10 +266,7 @@ func (r *Relation) Version() uint64 {
 func (r *Relation) Tuple(i int) (Tuple, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	if i < 0 || i >= len(r.tuples) {
-		return Tuple{}, fmt.Errorf("%w: %d (relation has %d tuples)", ErrTupleIndex, i, len(r.tuples))
-	}
-	return r.tuples[i], nil
+	return r.st.tupleChecked(i)
 }
 
 // Each calls fn for every tuple position in order while holding a read lock.
@@ -147,11 +274,7 @@ func (r *Relation) Tuple(i int) (Tuple, error) {
 func (r *Relation) Each(fn func(i int, t Tuple) bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	for i := range r.tuples {
-		if !fn(i, r.tuples[i]) {
-			return
-		}
-	}
+	r.st.each(0, fn)
 }
 
 // EachFrom behaves like Each but starts at position start. The incremental
@@ -159,14 +282,7 @@ func (r *Relation) Each(fn func(i int, t Tuple) bool) {
 func (r *Relation) EachFrom(start int, fn func(i int, t Tuple) bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	if start < 0 {
-		start = 0
-	}
-	for i := start; i < len(r.tuples); i++ {
-		if !fn(i, r.tuples[i]) {
-			return
-		}
-	}
+	r.st.each(start, fn)
 }
 
 // Append adds tuples to the end of the relation, maintaining the annotation
@@ -175,16 +291,25 @@ func (r *Relation) EachFrom(start int, fn func(i int, t Tuple) bool) {
 func (r *Relation) Append(tuples ...Tuple) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	start := len(r.tuples)
+	r.beginMutation()
+	start := r.st.n
 	for _, t := range tuples {
-		pos := len(r.tuples)
-		r.tuples = append(r.tuples, t)
+		pos := r.st.n
+		c := pos >> chunkShift
+		if pos&chunkMask == 0 {
+			r.st.chunks = append(r.st.chunks, make([]Tuple, 0, chunkSize))
+			r.chunkGen = append(r.chunkGen, r.epoch)
+		}
+		ch := r.writableChunk(c)
+		r.st.chunks[c] = append(ch, t)
+		r.st.n++
 		for _, a := range t.Annots {
-			r.index[a] = append(r.index[a], pos)
-			r.freq[a]++
+			p := r.writablePostings(a)
+			r.st.index[a] = append(p, pos)
+			r.st.freq[a]++
 		}
 	}
-	r.version++
+	r.st.version++
 	return start
 }
 
@@ -197,22 +322,16 @@ func (r *Relation) AddAnnotation(i int, a itemset.Item) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if i < 0 || i >= len(r.tuples) {
-		return fmt.Errorf("%w: %d (relation has %d tuples)", ErrTupleIndex, i, len(r.tuples))
+	t, err := r.st.tupleChecked(i)
+	if err != nil {
+		return err
 	}
-	t := &r.tuples[i]
 	if t.Annots.Contains(a) {
 		return fmt.Errorf("%w: %v on tuple %d", ErrDuplicateAnnotation, a, i)
 	}
-	t.Annots = t.Annots.Add(a)
-	positions := r.index[a]
-	at := sort.SearchInts(positions, i)
-	positions = append(positions, 0)
-	copy(positions[at+1:], positions[at:])
-	positions[at] = i
-	r.index[a] = positions
-	r.freq[a]++
-	r.version++
+	r.beginMutation()
+	r.attach(i, a)
+	r.st.version++
 	return nil
 }
 
@@ -228,13 +347,14 @@ func (r *Relation) ApplyUpdates(batch []AnnotationUpdate) (applied, skipped []An
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, u := range batch {
-		if u.Index < 0 || u.Index >= len(r.tuples) {
-			return nil, nil, fmt.Errorf("%w: %d (relation has %d tuples)", ErrTupleIndex, u.Index, len(r.tuples))
+		if u.Index < 0 || u.Index >= r.st.n {
+			return nil, nil, fmt.Errorf("%w: %d (relation has %d tuples)", ErrTupleIndex, u.Index, r.st.n)
 		}
 		if !u.Annotation.IsAnnotation() {
 			return nil, nil, fmt.Errorf("relation: item %v in update batch is not an annotation", u.Annotation)
 		}
 	}
+	r.beginMutation()
 	// Track within-batch duplicates too: the same (tuple, annotation) pair
 	// twice in one batch must apply only once.
 	type pair struct {
@@ -244,24 +364,16 @@ func (r *Relation) ApplyUpdates(batch []AnnotationUpdate) (applied, skipped []An
 	seen := make(map[pair]bool, len(batch))
 	for _, u := range batch {
 		p := pair{u.Index, u.Annotation}
-		t := &r.tuples[u.Index]
-		if seen[p] || t.Annots.Contains(u.Annotation) {
+		if seen[p] || r.st.tuple(u.Index).Annots.Contains(u.Annotation) {
 			skipped = append(skipped, u)
 			continue
 		}
 		seen[p] = true
-		t.Annots = t.Annots.Add(u.Annotation)
-		positions := r.index[u.Annotation]
-		at := sort.SearchInts(positions, u.Index)
-		positions = append(positions, 0)
-		copy(positions[at+1:], positions[at:])
-		positions[at] = u.Index
-		r.index[u.Annotation] = positions
-		r.freq[u.Annotation]++
+		r.attach(u.Index, u.Annotation)
 		applied = append(applied, u)
 	}
 	if len(applied) > 0 {
-		r.version++
+		r.st.version++
 	}
 	return applied, skipped, nil
 }
@@ -275,31 +387,17 @@ func (r *Relation) RemoveAnnotation(i int, a itemset.Item) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if i < 0 || i >= len(r.tuples) {
-		return fmt.Errorf("%w: %d (relation has %d tuples)", ErrTupleIndex, i, len(r.tuples))
+	t, err := r.st.tupleChecked(i)
+	if err != nil {
+		return err
 	}
-	t := &r.tuples[i]
 	if !t.Annots.Contains(a) {
 		return fmt.Errorf("%w: %v on tuple %d", ErrAnnotationNotPresent, a, i)
 	}
-	t.Annots = t.Annots.Remove(a)
-	r.removeFromIndex(a, i)
-	r.freq[a]--
-	r.version++
+	r.beginMutation()
+	r.detach(i, a)
+	r.st.version++
 	return nil
-}
-
-func (r *Relation) removeFromIndex(a itemset.Item, pos int) {
-	positions := r.index[a]
-	at := sort.SearchInts(positions, pos)
-	if at < len(positions) && positions[at] == pos {
-		positions = append(positions[:at], positions[at+1:]...)
-		if len(positions) == 0 {
-			delete(r.index, a)
-		} else {
-			r.index[a] = positions
-		}
-	}
 }
 
 // ApplyRemovals detaches a batch of annotations, mirroring ApplyUpdates:
@@ -310,26 +408,24 @@ func (r *Relation) ApplyRemovals(batch []AnnotationUpdate) (applied, skipped []A
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, u := range batch {
-		if u.Index < 0 || u.Index >= len(r.tuples) {
-			return nil, nil, fmt.Errorf("%w: %d (relation has %d tuples)", ErrTupleIndex, u.Index, len(r.tuples))
+		if u.Index < 0 || u.Index >= r.st.n {
+			return nil, nil, fmt.Errorf("%w: %d (relation has %d tuples)", ErrTupleIndex, u.Index, r.st.n)
 		}
 		if !u.Annotation.IsAnnotation() {
 			return nil, nil, fmt.Errorf("relation: item %v in removal batch is not an annotation", u.Annotation)
 		}
 	}
+	r.beginMutation()
 	for _, u := range batch {
-		t := &r.tuples[u.Index]
-		if !t.Annots.Contains(u.Annotation) {
+		if !r.st.tuple(u.Index).Annots.Contains(u.Annotation) {
 			skipped = append(skipped, u)
 			continue
 		}
-		t.Annots = t.Annots.Remove(u.Annotation)
-		r.removeFromIndex(u.Annotation, u.Index)
-		r.freq[u.Annotation]--
+		r.detach(u.Index, u.Annotation)
 		applied = append(applied, u)
 	}
 	if len(applied) > 0 {
-		r.version++
+		r.st.version++
 	}
 	return applied, skipped, nil
 }
@@ -340,7 +436,7 @@ func (r *Relation) ApplyRemovals(batch []AnnotationUpdate) (applied, skipped []A
 func (r *Relation) TuplesWith(a itemset.Item) []int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.index[a]
+	return r.st.index[a]
 }
 
 // Frequency returns the number of tuples carrying annotation a — the paper's
@@ -348,18 +444,14 @@ func (r *Relation) TuplesWith(a itemset.Item) []int {
 func (r *Relation) Frequency(a itemset.Item) int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.freq[a]
+	return r.st.freq[a]
 }
 
 // FrequencyTable returns a copy of the whole annotation frequency table.
 func (r *Relation) FrequencyTable() map[itemset.Item]int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[itemset.Item]int, len(r.freq))
-	for a, n := range r.freq {
-		out[a] = n
-	}
-	return out
+	return r.st.freqTable()
 }
 
 // Annotations returns every annotation item that appears on at least one
@@ -367,14 +459,7 @@ func (r *Relation) FrequencyTable() map[itemset.Item]int {
 func (r *Relation) Annotations() itemset.Itemset {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]itemset.Item, 0, len(r.freq))
-	for a, n := range r.freq {
-		if n > 0 {
-			out = append(out, a)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return itemset.FromSorted(out)
+	return r.st.annotations()
 }
 
 // CountPattern scans positions (or the whole relation when positions is nil)
@@ -385,41 +470,25 @@ func (r *Relation) Annotations() itemset.Itemset {
 func (r *Relation) CountPattern(pattern itemset.Itemset, positions []int) int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	n := 0
-	if positions == nil {
-		for i := range r.tuples {
-			if r.tuples[i].Contains(pattern) {
-				n++
-			}
-		}
-		return n
-	}
-	for _, i := range positions {
-		if i >= 0 && i < len(r.tuples) && r.tuples[i].Contains(pattern) {
-			n++
-		}
-	}
-	return n
+	return r.st.countPattern(pattern, positions)
 }
 
 // Clone returns a deep copy of the relation sharing no mutable state with the
 // original. The dictionary is shared: token→item mappings are append-only,
 // so sharing is safe and keeps clones comparable.
+//
+// Clone pins a View (O(1) under the lock) and copies from it afterwards, so
+// no reader or writer ever waits behind the O(n) copy.
 func (r *Relation) Clone() *Relation {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	v := r.View()
 	c := NewWithDictionary(r.dict)
-	c.tuples = make([]Tuple, len(r.tuples))
-	for i, t := range r.tuples {
-		c.tuples[i] = t.Clone()
-	}
-	for a, positions := range r.index {
-		c.index[a] = append([]int(nil), positions...)
-	}
-	for a, n := range r.freq {
-		c.freq[a] = n
-	}
-	c.version = r.version
+	batch := make([]Tuple, 0, v.Len())
+	v.Each(func(_ int, t Tuple) bool {
+		batch = append(batch, t.Clone())
+		return true
+	})
+	c.Append(batch...)
+	c.st.version = v.Version()
 	return c
 }
 
@@ -437,67 +506,61 @@ type Stats struct {
 func (r *Relation) Stats() Stats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	var s Stats
-	s.Tuples = len(r.tuples)
-	dataSeen := make(map[itemset.Item]struct{})
-	for i := range r.tuples {
-		t := &r.tuples[i]
-		if len(t.Annots) > 0 {
-			s.AnnotatedTuples++
-		}
-		s.Annotations += len(t.Annots)
-		if len(t.Annots) > s.MaxAnnotsPerTuple {
-			s.MaxAnnotsPerTuple = len(t.Annots)
-		}
-		for _, d := range t.Data {
-			dataSeen[d] = struct{}{}
-		}
-	}
-	for a, n := range r.freq {
-		_ = a
-		if n > 0 {
-			s.DistinctAnnots++
-		}
-	}
-	s.DistinctData = len(dataSeen)
-	return s
+	return r.st.stats()
 }
 
-// CheckInvariants verifies the internal consistency of the index and
-// frequency table against the tuples. It is called from tests and from the
-// incremental engine's verification mode, never on hot paths.
+// CheckInvariants verifies the internal consistency of the chunked storage,
+// index, and frequency table against the tuples. It is called from tests and
+// from the incremental engine's verification mode, never on hot paths.
 func (r *Relation) CheckInvariants() error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	total := 0
+	for c, ch := range r.st.chunks {
+		if c < len(r.st.chunks)-1 && len(ch) != chunkSize {
+			return fmt.Errorf("relation: interior chunk %d has %d tuples, want %d", c, len(ch), chunkSize)
+		}
+		total += len(ch)
+	}
+	if total != r.st.n {
+		return fmt.Errorf("relation: chunks hold %d tuples, store says %d", total, r.st.n)
+	}
 	rebuiltFreq := make(map[itemset.Item]int)
 	rebuiltIdx := make(map[itemset.Item][]int)
-	for i := range r.tuples {
-		t := &r.tuples[i]
+	var werr error
+	r.st.each(0, func(i int, t Tuple) bool {
 		if !t.Data.Wellformed() || !t.Annots.Wellformed() {
-			return fmt.Errorf("relation: tuple %d not canonical", i)
+			werr = fmt.Errorf("relation: tuple %d not canonical", i)
+			return false
 		}
 		if t.Data.HasAnnotation() {
-			return fmt.Errorf("relation: tuple %d has annotation in data part", i)
+			werr = fmt.Errorf("relation: tuple %d has annotation in data part", i)
+			return false
 		}
 		if !t.Annots.PureAnnotations() {
-			return fmt.Errorf("relation: tuple %d has data value in annotation part", i)
+			werr = fmt.Errorf("relation: tuple %d has data value in annotation part", i)
+			return false
 		}
 		for _, a := range t.Annots {
 			rebuiltFreq[a]++
 			rebuiltIdx[a] = append(rebuiltIdx[a], i)
 		}
+		return true
+	})
+	if werr != nil {
+		return werr
 	}
-	for a, n := range r.freq {
+	for a, n := range r.st.freq {
 		if n != rebuiltFreq[a] {
 			return fmt.Errorf("relation: frequency table says %d tuples for %v, actual %d", n, a, rebuiltFreq[a])
 		}
 	}
 	for a, n := range rebuiltFreq {
-		if r.freq[a] != n {
+		if r.st.freq[a] != n {
 			return fmt.Errorf("relation: frequency table missing %v (actual %d)", a, n)
 		}
 	}
-	for a, positions := range r.index {
+	for a, positions := range r.st.index {
 		want := rebuiltIdx[a]
 		if len(positions) != len(want) {
 			return fmt.Errorf("relation: index for %v has %d entries, want %d", a, len(positions), len(want))
@@ -509,7 +572,7 @@ func (r *Relation) CheckInvariants() error {
 		}
 	}
 	for a, want := range rebuiltIdx {
-		if _, ok := r.index[a]; !ok && len(want) > 0 {
+		if _, ok := r.st.index[a]; !ok && len(want) > 0 {
 			return fmt.Errorf("relation: index missing annotation %v", a)
 		}
 	}

@@ -1,0 +1,322 @@
+package relation
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"annotadb/internal/itemset"
+)
+
+// viewFixture builds a relation with n tuples: tuple i carries data value
+// "d<i%7>" and annotation Annot_A on every third tuple.
+func viewFixture(t testing.TB, n int) *Relation {
+	t.Helper()
+	r := New()
+	dict := r.Dictionary()
+	a := MustAnnotation(dict, "Annot_A")
+	batch := make([]Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		d := MustData(dict, fmt.Sprintf("d%d", i%7))
+		items := []itemset.Item{d}
+		if i%3 == 0 {
+			items = append(items, a)
+		}
+		batch = append(batch, NewTuple(items...))
+	}
+	r.Append(batch...)
+	return r
+}
+
+func TestViewIsImmutableUnderMutation(t *testing.T) {
+	r := viewFixture(t, 2*chunkSize+17)
+	dict := r.Dictionary()
+	a := MustAnnotation(dict, "Annot_A")
+	b := MustAnnotation(dict, "Annot_B")
+
+	v := r.View()
+	wantLen := v.Len()
+	wantVersion := v.Version()
+	wantFreqA := v.Frequency(a)
+	tu0, err := v.Tuple(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tu0.HasAnnotation(a) {
+		t.Fatal("fixture: tuple 0 should carry Annot_A")
+	}
+	wantPostings := append([]int(nil), v.TuplesWith(a)...)
+
+	// Mutate through every path: attach, detach, append.
+	if err := r.AddAnnotation(1, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveAnnotation(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ApplyUpdates([]AnnotationUpdate{{Index: 5, Annotation: b}}); err != nil {
+		t.Fatal(err)
+	}
+	r.Append(MustTuple(dict, []string{"d0"}, []string{"Annot_B"}))
+
+	if v.Len() != wantLen {
+		t.Errorf("view Len changed under mutation: %d -> %d", wantLen, v.Len())
+	}
+	if v.Version() != wantVersion {
+		t.Errorf("view Version changed under mutation: %d -> %d", wantVersion, v.Version())
+	}
+	if got := v.Frequency(a); got != wantFreqA {
+		t.Errorf("view Frequency changed under mutation: %d -> %d", wantFreqA, got)
+	}
+	tu0v, err := v.Tuple(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tu0v.HasAnnotation(a) {
+		t.Error("view tuple 0 lost Annot_A after live detach")
+	}
+	tu1v, _ := v.Tuple(1)
+	if tu1v.HasAnnotation(b) {
+		t.Error("view tuple 1 gained Annot_B from live attach")
+	}
+	got := v.TuplesWith(a)
+	if len(got) != len(wantPostings) {
+		t.Fatalf("view postings changed: %v -> %v", wantPostings, got)
+	}
+	for i := range got {
+		if got[i] != wantPostings[i] {
+			t.Fatalf("view postings changed at %d: %v -> %v", i, wantPostings, got)
+		}
+	}
+
+	// The live relation moved on.
+	live, _ := r.Tuple(0)
+	if live.HasAnnotation(a) {
+		t.Error("live tuple 0 still carries removed Annot_A")
+	}
+	if r.Len() != wantLen+1 {
+		t.Errorf("live Len = %d, want %d", r.Len(), wantLen+1)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewIsMemoizedBetweenMutations(t *testing.T) {
+	r := viewFixture(t, 10)
+	v1 := r.View()
+	if v2 := r.View(); v1 != v2 {
+		t.Error("View() without intervening mutation returned a new view")
+	}
+	r.Append(MustTuple(r.Dictionary(), []string{"d1"}, nil))
+	if v3 := r.View(); v3 == v1 {
+		t.Error("View() after mutation returned the stale view")
+	}
+}
+
+// TestViewStructuralSharing pins the COW contract: a single-tuple mutation
+// copies only the touched chunk; every other chunk is shared by address
+// between consecutive generations.
+func TestViewStructuralSharing(t *testing.T) {
+	r := viewFixture(t, 4*chunkSize)
+	dict := r.Dictionary()
+	b := MustAnnotation(dict, "Annot_B")
+
+	v1 := r.View()
+	if err := r.AddAnnotation(chunkSize+1, b); err != nil { // lives in chunk 1
+		t.Fatal(err)
+	}
+	v2 := r.View()
+
+	if len(v1.st.chunks) != len(v2.st.chunks) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(v1.st.chunks), len(v2.st.chunks))
+	}
+	for c := range v1.st.chunks {
+		shared := &v1.st.chunks[c][0] == &v2.st.chunks[c][0]
+		if c == 1 && shared {
+			t.Error("mutated chunk 1 still shared between generations")
+		}
+		if c != 1 && !shared {
+			t.Errorf("untouched chunk %d was copied", c)
+		}
+	}
+}
+
+func TestViewAgainstLiveRelationReads(t *testing.T) {
+	r := viewFixture(t, 3*chunkSize+5)
+	v := r.View()
+	if v.Len() != r.Len() {
+		t.Fatalf("Len: view %d, live %d", v.Len(), r.Len())
+	}
+	if v.Version() != r.Version() {
+		t.Fatalf("Version: view %d, live %d", v.Version(), r.Version())
+	}
+	r.Each(func(i int, want Tuple) bool {
+		got, err := v.Tuple(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Data.Equal(want.Data) || !got.Annots.Equal(want.Annots) {
+			t.Fatalf("tuple %d differs between view and live relation", i)
+		}
+		return true
+	})
+	if got, want := v.Stats(), r.Stats(); got != want {
+		t.Errorf("Stats: view %+v, live %+v", got, want)
+	}
+	if got, want := v.Annotations(), r.Annotations(); !got.Equal(want) {
+		t.Errorf("Annotations: view %v, live %v", got, want)
+	}
+	pattern := itemset.New(MustData(r.Dictionary(), "d0"))
+	if got, want := v.CountPattern(pattern, nil), r.CountPattern(pattern, nil); got != want {
+		t.Errorf("CountPattern: view %d, live %d", got, want)
+	}
+	if _, err := v.Tuple(-1); err == nil {
+		t.Error("view Tuple(-1) did not fail")
+	}
+	if _, err := v.Tuple(v.Len()); err == nil {
+		t.Error("view Tuple(len) did not fail")
+	}
+}
+
+// TestViewConcurrentReadersUnderWriter runs pinned-view readers against a
+// hammering writer under -race: a data race here means a view shares memory
+// the relation still writes.
+func TestViewConcurrentReadersUnderWriter(t *testing.T) {
+	r := viewFixture(t, 2*chunkSize)
+	dict := r.Dictionary()
+	b := MustAnnotation(dict, "Annot_B")
+
+	const generations = 200
+	views := make(chan *View, 16)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: mutate, publish a fresh generation each round
+		defer wg.Done()
+		defer close(views)
+		for i := 0; i < generations; i++ {
+			idx := i % r.Len()
+			if i%2 == 0 {
+				_ = r.AddAnnotation(idx, b)
+			} else {
+				_ = r.RemoveAnnotation(idx, b)
+			}
+			if i%16 == 0 {
+				r.Append(MustTuple(dict, []string{"dX"}, nil))
+			}
+			views <- r.View()
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() { // readers: full scans over whatever generation arrives
+			defer wg.Done()
+			for v := range views {
+				n := 0
+				v.Each(func(_ int, t Tuple) bool {
+					n += len(t.Annots)
+					return true
+				})
+				_ = v.Frequency(b)
+				_ = v.TuplesWith(b)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneViaViewIsDeepAndVersionPreserving(t *testing.T) {
+	r := viewFixture(t, chunkSize+3)
+	dict := r.Dictionary()
+	b := MustAnnotation(dict, "Annot_B")
+	c := r.Clone()
+	if c.Len() != r.Len() || c.Version() != r.Version() {
+		t.Fatalf("clone Len/Version = %d/%d, want %d/%d", c.Len(), c.Version(), r.Len(), r.Version())
+	}
+	if err := r.AddAnnotation(2, b); err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := c.Tuple(2)
+	if ct.HasAnnotation(b) {
+		t.Error("clone observed a mutation of its source")
+	}
+	if err := c.AddAnnotation(3, MustAnnotation(dict, "Annot_C")); err != nil {
+		t.Fatal(err)
+	}
+	rt, _ := r.Tuple(3)
+	if rt.HasAnnotation(MustAnnotation(dict, "Annot_C")) {
+		t.Error("source observed a mutation of its clone")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkViewCapture measures publishing one generation after a
+// single-annotation delta on relations of growing size: the point of the
+// chunked COW store is that this cost tracks the delta (one chunk copy plus
+// once-per-generation map headers), not the relation.
+func BenchmarkViewCapture(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 13, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := viewFixture(b, n)
+			a := MustAnnotation(r.Dictionary(), "Annot_Bench")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx := i % n
+				if i%2 == 0 {
+					_ = r.AddAnnotation(idx, a)
+				} else {
+					_ = r.RemoveAnnotation(idx, a)
+				}
+				if v := r.View(); v.Len() != n {
+					b.Fatal("bad view")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkViewAppend measures the append path with a view captured per
+// batch — the serving writer's shape: append, publish, repeat.
+func BenchmarkViewAppend(b *testing.B) {
+	r := viewFixture(b, chunkSize)
+	dict := r.Dictionary()
+	tu := MustTuple(dict, []string{"dA"}, []string{"Annot_A"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Append(tu)
+		if v := r.View(); v.Len() == 0 {
+			b.Fatal("bad view")
+		}
+	}
+}
+
+// BenchmarkCloneBaseline is the pre-view generation cost for contrast: a
+// deep copy per generation, O(n) no matter how small the delta.
+func BenchmarkCloneBaseline(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 13} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := viewFixture(b, n)
+			a := MustAnnotation(r.Dictionary(), "Annot_Bench")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx := i % n
+				if i%2 == 0 {
+					_ = r.AddAnnotation(idx, a)
+				} else {
+					_ = r.RemoveAnnotation(idx, a)
+				}
+				if c := r.Clone(); c.Len() != n {
+					b.Fatal("bad clone")
+				}
+			}
+		})
+	}
+}

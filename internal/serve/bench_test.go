@@ -53,8 +53,9 @@ func BenchmarkSnapshotRead(b *testing.B) {
 	})
 }
 
-// BenchmarkRecommend measures a full read request: snapshot load, live
-// tuple fetch (relation RLock, not the engine lock), rule evaluation.
+// BenchmarkRecommend measures a full read request: snapshot load, tuple
+// fetch from the published immutable view (no locks at all), rule
+// evaluation.
 func BenchmarkRecommend(b *testing.B) {
 	s, _, rel := benchWorld(b)
 	n := rel.Len()
@@ -63,7 +64,7 @@ func BenchmarkRecommend(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			idx := int(ctr.Add(1)) % n
-			if _, err := s.Recommend(idx); err != nil {
+			if _, _, err := s.Recommend(idx); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -103,7 +104,7 @@ func BenchmarkRecommendWhileWriting(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			idx := int(ctr.Add(1)) % n
-			if _, err := s.Recommend(idx); err != nil {
+			if _, _, err := s.Recommend(idx); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -220,15 +220,20 @@ func (s *Server) Rules() []rules.Rule {
 }
 
 // Recommend evaluates the snapshot's rules against the tuple at position
-// idx. The tuple contents are read live from the relation (its own lock,
-// not the engine's): a tuple annotated after the snapshot was published is
-// evaluated as it is now, against the rules as they were published.
-func (s *Server) Recommend(idx int) ([]predict.Recommendation, error) {
-	tu, err := s.rel.Tuple(idx)
+// idx and reports the snapshot sequence it answered from. Both the tuple
+// contents and the rules come from the same published generation — one
+// atomic snapshot load, zero relation lock acquisitions — so a reader can
+// never see a tuple annotated after the rules it is scored against. An
+// index valid in the live relation but not yet in the snapshot (the tuple
+// was appended after the last publish) reports ErrTupleIndex: the tuple
+// does not exist in this generation.
+func (s *Server) Recommend(idx int) ([]predict.Recommendation, uint64, error) {
+	snap := s.Snapshot()
+	tu, err := snap.View.Tuple(idx)
 	if err != nil {
-		return nil, err
+		return nil, snap.Seq, err
 	}
-	return s.Snapshot().Compiled.ForTupleAt(tu, idx), nil
+	return snap.Compiled.ForTupleAt(tu, idx), snap.Seq, nil
 }
 
 // RecommendIncoming evaluates a free-standing tuple (the paper's insert
@@ -245,6 +250,15 @@ type Stats struct {
 	RuleCount  int
 	MinCount   int
 	RelVersion uint64
+	// LiveRelVersion is the live relation's mutation counter at the moment
+	// Stats ran; LiveRelVersion - RelVersion is the published snapshot's
+	// staleness in relation mutations (0 when the writer is idle).
+	LiveRelVersion uint64
+	// Attachments and DistinctAnnotations describe the snapshot's relation
+	// generation: total (tuple, annotation) pairs and annotations appearing
+	// on at least one tuple.
+	Attachments         int
+	DistinctAnnotations int
 	// Server counters.
 	Requests  uint64 // write requests accepted
 	Batches   uint64 // engine applications after coalescing
@@ -257,21 +271,28 @@ type Stats struct {
 	Engine incremental.Stats
 }
 
-// Stats returns current serving statistics.
+// Stats returns current serving statistics. The relation section
+// (Attachments, DistinctAnnotations) was folded from the snapshot's frozen
+// frequency table at publish time; only LiveRelVersion reads the live
+// relation (one short RLock), so polling Stats cannot stall the writer
+// behind an O(n) scan.
 func (s *Server) Stats() Stats {
 	snap := s.snap.Load()
 	return Stats{
-		Seq:           snap.Seq,
-		N:             snap.N,
-		RuleCount:     snap.Rules.Len(),
-		MinCount:      snap.MinCount,
-		RelVersion:    snap.RelVersion,
-		Requests:      s.requests.Load(),
-		Batches:       s.batches.Load(),
-		Coalesced:     s.coalesced.Load(),
-		Reads:         s.reads.Load(),
-		JournalErrors: s.journalErrs.Load(),
-		Engine:        snap.EngineStats,
+		Seq:                 snap.Seq,
+		N:                   snap.N,
+		RuleCount:           snap.Rules.Len(),
+		MinCount:            snap.MinCount,
+		RelVersion:          snap.RelVersion,
+		LiveRelVersion:      s.rel.Version(),
+		Attachments:         snap.Attachments,
+		DistinctAnnotations: snap.DistinctAnnotations,
+		Requests:            s.requests.Load(),
+		Batches:             s.batches.Load(),
+		Coalesced:           s.coalesced.Load(),
+		Reads:               s.reads.Load(),
+		JournalErrors:       s.journalErrs.Load(),
+		Engine:              snap.EngineStats,
 	}
 }
 
@@ -515,17 +536,30 @@ func (s *Server) applyGroup(kind opKind, group []*request) result {
 }
 
 // publish captures the engine state (one lock acquisition) and swaps in a
-// new immutable snapshot.
+// new immutable snapshot. The engine snapshot pins the relation generation
+// alongside the rule view, so View and Rules always pair; the relation's
+// copy-on-write store makes the capture O(1) and charges the next batch
+// only for the chunks it actually touches.
 func (s *Server) publish() {
 	es := s.eng.Snapshot()
+	attachments, distinct := 0, 0
+	for _, n := range es.Relation.FrequencyTable() {
+		if n > 0 {
+			attachments += n
+			distinct++
+		}
+	}
 	snap := &Snapshot{
-		Seq:         s.seq.Add(1),
-		N:           es.N,
-		MinCount:    es.MinCount,
-		RelVersion:  es.RelVersion,
-		EngineStats: es.Stats,
-		Rules:       es.Rules,
-		Compiled:    predict.Compile(es.Rules, s.cfg.Recommend),
+		Seq:                 s.seq.Add(1),
+		N:                   es.N,
+		MinCount:            es.MinCount,
+		RelVersion:          es.RelVersion,
+		EngineStats:         es.Stats,
+		View:                es.Relation,
+		Rules:               es.Rules,
+		Compiled:            predict.Compile(es.Rules, s.cfg.Recommend),
+		Attachments:         attachments,
+		DistinctAnnotations: distinct,
 	}
 	s.snap.Store(snap)
 }

@@ -188,7 +188,7 @@ func TestRecommend(t *testing.T) {
 		byTuple[r.TupleIndex] = append(byTuple[r.TupleIndex], r)
 	}
 	for idx, wantRecs := range byTuple {
-		got, err := s.Recommend(idx)
+		got, _, err := s.Recommend(idx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,7 +216,7 @@ func TestRecommend(t *testing.T) {
 		t.Errorf("incoming {28,85} did not draw Annot_1: %v", recs)
 	}
 
-	if _, err := s.Recommend(10_000); err == nil {
+	if _, _, err := s.Recommend(10_000); err == nil {
 		t.Error("Recommend with out-of-range index did not fail")
 	}
 }
@@ -419,7 +419,7 @@ func TestStressReadersSeeConsistentSnapshots(t *testing.T) {
 					}
 				}
 				// Exercise the read API under write load.
-				if _, err := s.Recommend(rng.Intn(baseLen)); err != nil {
+				if _, _, err := s.Recommend(rng.Intn(baseLen)); err != nil {
 					readErrs <- "recommend failed: " + err.Error()
 					return
 				}

@@ -16,8 +16,9 @@ import (
 )
 
 // checkpointMagic opens every checkpoint stream; the trailing byte is the
-// format version.
-var checkpointMagic = []byte("ADBCKPT\x01")
+// format version. Version 2 added CoveredBytes and is not readable by (or
+// from) version 1.
+var checkpointMagic = []byte("ADBCKPT\x02")
 
 // Checkpoint is a full capture of serving state: the relation (with its
 // dictionary, preserving item codes exactly), the engine's rule tiers and
@@ -26,16 +27,27 @@ var checkpointMagic = []byte("ADBCKPT\x01")
 // restore an engine without re-mining; see the wal package.
 type Checkpoint struct {
 	// Epoch is the checkpoint generation: it names the log epoch that
-	// extends this checkpoint. Recovery drops a log whose epoch is older
-	// (its records are already folded in) and rejects one that is newer.
+	// extends this checkpoint. Recovery replays only the uncovered tail of
+	// a log whose epoch is one older (the artifact of a crash between
+	// checkpoint install and log truncation) and rejects one that is newer.
 	Epoch uint64
+	// CoveredBytes is the log size (header included) at the moment the
+	// checkpoint's state was captured: every log record before this offset
+	// is folded into the checkpoint, every record at or after it is not.
+	// Checkpoints are written in the background while the writer keeps
+	// appending, so the log can legitimately outgrow this offset before it
+	// is truncated.
+	CoveredBytes uint64
 	// ConfigFingerprint identifies the mining configuration the state was
 	// produced under. Recovery refuses a checkpoint whose fingerprint does
 	// not match the running configuration: restoring mined state under
 	// different thresholds silently breaks the exactness contract.
 	ConfigFingerprint string
-	// Relation is the annotated relation, dictionary included.
-	Relation *relation.Relation
+	// Relation is the annotated relation, dictionary included. Writers hand
+	// in a pinned *relation.View (so serialization never blocks the live
+	// relation) or a *relation.Relation; ReadCheckpoint always produces a
+	// *relation.Relation.
+	Relation relation.Source
 	// Valid and Candidates are the engine's rule tiers.
 	Valid      *rules.Set
 	Candidates *rules.Set
@@ -75,6 +87,7 @@ func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
 	var buf bytes.Buffer
 	buf.Write(checkpointMagic)
 	writeUvarint(&buf, ck.Epoch)
+	writeUvarint(&buf, ck.CoveredBytes)
 	writeUvarint(&buf, uint64(len(ck.ConfigFingerprint)))
 	buf.WriteString(ck.ConfigFingerprint)
 	if err := writeDictionary(&buf, ck.Relation.Dictionary()); err != nil {
@@ -121,6 +134,10 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	}
 	d := &decoder{buf: body[len(checkpointMagic):]}
 	epoch, err := d.uvarint("epoch")
+	if err != nil {
+		return nil, err
+	}
+	covered, err := d.uvarint("covered bytes")
 	if err != nil {
 		return nil, err
 	}
@@ -173,6 +190,7 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	}
 	return &Checkpoint{
 		Epoch:             epoch,
+		CoveredBytes:      covered,
 		ConfigFingerprint: string(fp),
 		Relation:          rel,
 		Valid:             valid,
@@ -282,9 +300,9 @@ func writeDictionary(buf *bytes.Buffer, dict *relation.Dictionary) error {
 	return emit(dict.DerivedItems(), relation.KindDerived)
 }
 
-func writeTuples(buf *bytes.Buffer, rel *relation.Relation) {
-	writeUvarint(buf, uint64(rel.Len()))
-	rel.Each(func(i int, t relation.Tuple) bool {
+func writeTuples(buf *bytes.Buffer, src relation.Source) {
+	writeUvarint(buf, uint64(src.Len()))
+	src.Each(func(i int, t relation.Tuple) bool {
 		writeItemset(buf, t.Data)
 		writeItemset(buf, t.Annots)
 		return true

@@ -58,7 +58,7 @@ func checkpointFixture(t *testing.T) *Checkpoint {
 	}
 }
 
-func tuplesAsTokens(t *testing.T, rel *relation.Relation) [][2][]string {
+func tuplesAsTokens(t *testing.T, rel relation.Source) [][2][]string {
 	t.Helper()
 	dict := rel.Dictionary()
 	var out [][2][]string
@@ -89,7 +89,7 @@ func assertCheckpointsEqual(t *testing.T, got, want *Checkpoint) {
 	if g, w := tuplesAsTokens(t, got.Relation), tuplesAsTokens(t, want.Relation); !reflect.DeepEqual(g, w) {
 		t.Errorf("relations differ:\ngot  %v\nwant %v", g, w)
 	}
-	if err := got.Relation.CheckInvariants(); err != nil {
+	if err := got.Relation.(*relation.Relation).CheckInvariants(); err != nil {
 		t.Errorf("restored relation invariants: %v", err)
 	}
 }
@@ -150,6 +150,43 @@ func TestCheckpointEmptyRelationRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCheckpointFromPinnedView pins the background-checkpoint contract: a
+// checkpoint serialized from an immutable relation view round-trips to the
+// same state even though the live relation mutated (and grew its shared
+// dictionary) mid-serialization.
+func TestCheckpointFromPinnedView(t *testing.T) {
+	want := checkpointFixture(t)
+	rel := want.Relation.(*relation.Relation)
+	pinned := rel.View()
+	wantTokens := tuplesAsTokens(t, pinned)
+
+	// Mutate the live relation after pinning, as the serving writer would
+	// while a background checkpoint is in flight.
+	rel.Append(relation.MustTuple(rel.Dictionary(), []string{"新77"}, []string{"Annot_9"}))
+
+	ck := *want
+	ck.Relation = pinned
+	ck.Epoch = 3
+	ck.CoveredBytes = 12345
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, &ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 3 || got.CoveredBytes != 12345 {
+		t.Errorf("epoch/covered = %d/%d, want 3/12345", got.Epoch, got.CoveredBytes)
+	}
+	if g := tuplesAsTokens(t, got.Relation); !reflect.DeepEqual(g, wantTokens) {
+		t.Errorf("view checkpoint restored wrong tuples:\ngot  %v\nwant %v", g, wantTokens)
+	}
+	if err := got.Relation.(*relation.Relation).CheckInvariants(); err != nil {
+		t.Errorf("restored relation invariants: %v", err)
+	}
+}
+
 func TestCheckpointRejectsTrailingGarbage(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteCheckpoint(&buf, checkpointFixture(t)); err != nil {
@@ -195,7 +232,8 @@ func TestWriteCheckpointFileReplacesAtomically(t *testing.T) {
 	// Grow the relation and write again: the newer state must fully replace
 	// the older file (no stale tail bytes, which ReadCheckpoint would
 	// reject as trailing garbage).
-	first.Relation.Append(relation.MustTuple(first.Relation.Dictionary(), []string{"77"}, []string{"Annot_1"}))
+	rel := first.Relation.(*relation.Relation)
+	rel.Append(relation.MustTuple(rel.Dictionary(), []string{"77"}, []string{"Annot_1"}))
 	if err := WriteCheckpointFile(path, first); err != nil {
 		t.Fatal(err)
 	}

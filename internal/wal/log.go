@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // logMagic opens every log file; the trailing byte is the format version.
@@ -117,8 +118,22 @@ type ReplayInfo struct {
 // error aborts the replay with that error. After a successful Replay the
 // log is positioned for Append.
 func (l *Log) Replay(fn func(Record) error) (ReplayInfo, error) {
+	return l.ReplayFrom(logHeaderSize, fn)
+}
+
+// ReplayFrom behaves like Replay but starts at byte offset start, which
+// must be a frame boundary (recovery uses a checkpoint's CoveredBytes, the
+// log size at capture time, which always is). A start at or past the end of
+// the log replays nothing.
+func (l *Log) ReplayFrom(start int64, fn func(Record) error) (ReplayInfo, error) {
 	var info ReplayInfo
-	offset := int64(logHeaderSize)
+	offset := start
+	if offset < logHeaderSize {
+		offset = logHeaderSize
+	}
+	if offset > l.size {
+		offset = l.size
+	}
 	rd := io.NewSectionReader(l.f, offset, l.size-offset)
 	header := make([]byte, frameHeaderSize)
 	for {
@@ -232,6 +247,73 @@ func (l *Log) Truncate(epoch uint64) error {
 		return err
 	}
 	return l.Sync()
+}
+
+// TruncateKeep drops every record before byte offset keepFrom, re-stamps
+// the log with epoch, and keeps the tail [keepFrom, Size()) — the records a
+// background-installed checkpoint does not cover because the writer kept
+// appending while it was serialized. The rewrite goes through a temp file
+// and an atomic rename: a crash mid-truncation leaves either the old log
+// (whose covered prefix recovery skips again via the checkpoint's
+// CoveredBytes) or the new one, never a state that loses tail records.
+func (l *Log) TruncateKeep(epoch uint64, keepFrom int64) error {
+	if keepFrom < logHeaderSize {
+		keepFrom = logHeaderSize
+	}
+	if keepFrom >= l.size {
+		return l.Truncate(epoch)
+	}
+	tail := make([]byte, l.size-keepFrom)
+	if _, err := l.f.ReadAt(tail, keepFrom); err != nil {
+		return fmt.Errorf("wal: truncate: read surviving tail: %w", err)
+	}
+	dir := filepath.Dir(l.path)
+	tmp, err := os.CreateTemp(dir, ".annotadb-wal-*")
+	if err != nil {
+		return fmt.Errorf("wal: truncate: create temp log: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	header := make([]byte, logHeaderSize)
+	copy(header, logMagic)
+	binary.LittleEndian.PutUint64(header[len(logMagic):], epoch)
+	if _, err := tmp.Write(header); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: truncate: write temp log: %w", err)
+	}
+	if _, err := tmp.Write(tail); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: truncate: write temp log: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: truncate: sync temp log: %w", err)
+	}
+	// CreateTemp opens 0600; match OpenLog's 0644 so the log's permissions
+	// do not depend on which truncation path last rewrote it.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: truncate: chmod temp log: %w", err)
+	}
+	if err := os.Rename(tmpName, l.path); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: truncate: install rewritten log: %w", err)
+	}
+	old := l.f
+	l.f = tmp
+	l.size = logHeaderSize + int64(len(tail))
+	l.epoch = epoch
+	old.Close()
+	// Sync the directory so the rename itself survives a crash.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: truncate: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: truncate: sync dir: %w", err)
+	}
+	return nil
 }
 
 // Close syncs and closes the log file.

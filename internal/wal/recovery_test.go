@@ -405,3 +405,69 @@ func BenchmarkOpenBootstrapMine(b *testing.B) {
 		s.Close()
 	}
 }
+
+// BenchmarkCheckpointWriterPause contrasts what the serving writer stalls
+// for per checkpoint on the 8K bench workload. Under background installs
+// the writer pays only "capture" — pin the relation view (copy-on-write,
+// O(1)) and clone the rule tiers — while serialization, fsync, and the
+// atomic rename happen off the writer goroutine. "sync-full" is the price
+// of the whole synchronous checkpoint, which the pre-view implementation
+// charged to the writer (and, worse, serialized under the relation's read
+// lock). A single annotation toggle between iterations keeps the engine
+// state moving, as a real writer would.
+func BenchmarkCheckpointWriterPause(b *testing.B) {
+	open := func(b *testing.B) *Store {
+		b.Helper()
+		s, err := Open(Options{Dir: b.TempDir()}, benchCfg(), incremental.Options{}, func() (*relation.Relation, error) {
+			g, err := workload.NewGenerator(workload.Default8K(1))
+			if err != nil {
+				return nil, err
+			}
+			return g.Generate()
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s.Close() })
+		return s
+	}
+	toggle := func(b *testing.B, s *Store, i int) {
+		b.Helper()
+		dict := s.Engine().Relation().Dictionary()
+		a, err := dict.InternAnnotation("Annot_pause")
+		if err != nil {
+			b.Fatal(err)
+		}
+		u := []relation.AnnotationUpdate{{Index: i % 100, Annotation: a}}
+		if i%2 == 0 {
+			_, err = s.Engine().AddAnnotations(u)
+		} else {
+			_, err = s.Engine().RemoveAnnotations(u)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("capture", func(b *testing.B) {
+		s := open(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			toggle(b, s, i)
+			if ck := s.capture(); ck.Relation.Len() == 0 {
+				b.Fatal("empty capture")
+			}
+		}
+	})
+	b.Run("sync-full", func(b *testing.B) {
+		s := open(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			toggle(b, s, i)
+			if err := s.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -108,6 +108,12 @@ type Store struct {
 	lastSync      time.Time // writer-only
 	oldestPending time.Time // writer-only: append time of the oldest un-checkpointed record
 	closed        bool
+	// inflight tracks a checkpoint being serialized and installed by the
+	// background installer goroutine. The writer launches at most one at a
+	// time (from Committed), keeps appending while it runs, and finishes the
+	// log truncation itself once the install completes — the log is
+	// writer-owned, so the installer never touches it.
+	inflight *pendingInstall
 	// failed latches when the log and the in-memory/acknowledged state can
 	// no longer be reconciled by this process: a checkpoint installed but
 	// the log could not be truncated to the new epoch (appends would be
@@ -139,6 +145,7 @@ func Open(opts Options, cfg mining.Config, eopts incremental.Options, bootstrap 
 	}
 	s := &Store{opts: opts, cfg: cfg, eopts: eopts}
 	ckEpoch := uint64(0)
+	ckCovered := uint64(0)
 	ck, err := storage.ReadCheckpointFile(CheckpointPath(opts.Dir))
 	switch {
 	case err == nil:
@@ -146,7 +153,10 @@ func Open(opts Options, cfg mining.Config, eopts incremental.Options, bootstrap 
 			return nil, fmt.Errorf("wal: %s was written under a different mining configuration\n  checkpoint: %s\n  running:    %s\nrestart with matching flags, or remove the directory to re-mine under the new ones",
 				opts.Dir, got, want)
 		}
-		eng, rerr := incremental.Restore(ck.Relation, cfg, eopts, incremental.State{
+		// ReadCheckpoint always rebuilds a live relation for the restored
+		// engine to own (Checkpoint.Relation is an interface only so that
+		// writers can hand in a pinned view).
+		eng, rerr := incremental.Restore(ck.Relation.(*relation.Relation), cfg, eopts, incremental.State{
 			Valid:         ck.Valid,
 			Candidates:    ck.Candidates,
 			DataPatterns:  ck.DataPatterns,
@@ -159,6 +169,7 @@ func Open(opts Options, cfg mining.Config, eopts incremental.Options, bootstrap 
 		s.eng = eng
 		s.recovery.FromCheckpoint = true
 		ckEpoch = ck.Epoch
+		ckCovered = ck.CoveredBytes
 	case os.IsNotExist(err):
 		// A log with no checkpoint cannot happen under this package's write
 		// ordering (the first checkpoint precedes the first append); if one
@@ -196,18 +207,42 @@ func Open(opts Options, cfg mining.Config, eopts incremental.Options, bootstrap 
 		}
 		s.recovery.Records = info.Records
 		s.recovery.TornTail = info.TornTail
-	case log.Epoch() < ckEpoch:
-		// Crash between checkpoint install and log truncation: every record
-		// in the log is already folded into the checkpoint. Replaying would
-		// double-apply, so finish the interrupted truncation instead.
-		if terr := log.Truncate(ckEpoch); terr != nil {
+	case log.Epoch()+1 == ckEpoch:
+		// Crash between checkpoint install and log truncation. The
+		// checkpoint covers the log exactly up to its CoveredBytes (the log
+		// size at capture); records after that offset were appended while
+		// the checkpoint was serialized in the background and are NOT
+		// folded in. Skip the covered prefix (replaying it would
+		// double-apply), replay the tail, then finish the interrupted
+		// truncation so the tail survives under the checkpoint's epoch.
+		covered := int64(ckCovered)
+		if covered < logHeaderSize {
+			covered = logHeaderSize
+		}
+		if covered > log.Size() {
+			// The surviving file is shorter than the capture saw (unsynced
+			// appends lost with the crash): everything on disk is covered.
+			covered = log.Size()
+		}
+		info, rerr := log.ReplayFrom(covered, s.applyRecord)
+		if rerr != nil {
+			log.Close()
+			return nil, rerr
+		}
+		s.recovery.Records = info.Records
+		s.recovery.TornTail = info.TornTail
+		s.recovery.StaleLogDropped = covered > logHeaderSize
+		if terr := log.TruncateKeep(ckEpoch, covered); terr != nil {
 			log.Close()
 			return nil, terr
 		}
-		s.recovery.StaleLogDropped = true
-	default:
+	case log.Epoch() > ckEpoch:
 		log.Close()
 		return nil, fmt.Errorf("wal: %s log epoch %d is ahead of checkpoint epoch %d (checkpoint rolled back?)",
+			opts.Dir, log.Epoch(), ckEpoch)
+	default:
+		log.Close()
+		return nil, fmt.Errorf("wal: %s log epoch %d is more than one generation behind checkpoint epoch %d (log rolled back?)",
 			opts.Dir, log.Epoch(), ckEpoch)
 	}
 	if !s.recovery.FromCheckpoint {
@@ -354,15 +389,126 @@ func (s *Store) append(rec Record) error {
 	return nil
 }
 
+// pendingInstall is one background checkpoint install: the epoch and log
+// coverage captured by the writer, and the channel the installer reports
+// its WriteCheckpointFile result on.
+type pendingInstall struct {
+	epoch   uint64
+	covered int64
+	takenAt time.Time
+	done    chan error
+}
+
+// capture pins the state a checkpoint will serialize: the engine state with
+// its relation view (one engine lock acquisition, O(rules) — the relation is
+// pinned copy-on-write, not copied), the next epoch, and how much of the
+// log the capture covers. Everything in the result is immutable or private,
+// so serialization may proceed off the writer goroutine while the engine
+// keeps applying updates.
+func (s *Store) capture() *storage.Checkpoint {
+	st := s.eng.State()
+	return &storage.Checkpoint{
+		Epoch:             s.log.Epoch() + 1,
+		CoveredBytes:      uint64(s.log.Size()),
+		ConfigFingerprint: configFingerprint(s.cfg, s.eopts),
+		Relation:          st.Relation,
+		Valid:             st.Valid,
+		Candidates:        st.Candidates,
+		DataPatterns:      st.DataPatterns,
+		AnnotPatterns:     st.AnnotPatterns,
+		Counters:          countersFromStats(st.Stats),
+	}
+}
+
+// finishInstall collects a completed background install, truncating the log
+// up to the covered offset (records appended after the capture survive into
+// the new epoch). With wait set it blocks until the install completes;
+// otherwise an install still in flight is left alone. Writer-only.
+func (s *Store) finishInstall(wait bool) error {
+	in := s.inflight
+	if in == nil {
+		return nil
+	}
+	var err error
+	if wait {
+		err = <-in.done
+	} else {
+		select {
+		case err = <-in.done:
+		default:
+			return nil // still serializing; check again next Committed
+		}
+	}
+	s.inflight = nil
+	if err != nil {
+		return err // counted by the installer; policy will retry
+	}
+	return s.finishTruncate(in.epoch, in.covered, in.takenAt)
+}
+
+// finishTruncate completes a durably installed checkpoint: the log drops
+// the covered prefix and keeps any tail appended since the capture.
+func (s *Store) finishTruncate(epoch uint64, covered int64, takenAt time.Time) error {
+	if err := s.log.TruncateKeep(epoch, covered); err != nil {
+		// The checkpoint is installed but the log still carries the old
+		// epoch: recovery would re-skip the covered prefix, but this
+		// process can no longer prove what an append covers. Latch so
+		// appends refuse instead of risking acknowledged writes.
+		s.failed = err
+		s.checkpointErrors.Add(1)
+		return err
+	}
+	s.checkpoints.Add(1)
+	s.lastCheckpoint.Store(time.Now().UnixNano())
+	s.logBytes.Store(s.log.Size())
+	if s.log.Size() > logHeaderSize {
+		// Records appended while the install ran are still uncovered; age
+		// them from the capture, the latest moment they all existed after.
+		s.oldestPending = takenAt
+	} else {
+		s.oldestPending = time.Time{}
+	}
+	return nil
+}
+
 // Committed runs the checkpoint policy. Part of the serve package's Journal
 // contract: called by the single writer after the logged batch has been
 // applied to the engine and the fresh snapshot published, which is the
 // earliest moment a checkpoint may cover the batch.
+//
+// Checkpoints triggered here run in the background: Committed captures the
+// state (cheap — the relation is pinned as a copy-on-write view) and hands
+// serialization, fsync, and the atomic install to an installer goroutine,
+// so the writer keeps applying batches at full speed while the checkpoint
+// is written. The next Committed (or Checkpoint, or Close) collects the
+// result and truncates the log's covered prefix.
 func (s *Store) Committed() error {
-	if !s.shouldCheckpoint() {
+	if err := s.finishInstall(false); err != nil {
+		return err
+	}
+	if s.closed || s.inflight != nil || !s.shouldCheckpoint() {
 		return nil
 	}
-	return s.Checkpoint()
+	if s.failed != nil {
+		return fmt.Errorf("wal: store failed (restart to recover): %w", s.failed)
+	}
+	ck := s.capture()
+	in := &pendingInstall{
+		epoch:   ck.Epoch,
+		covered: int64(ck.CoveredBytes),
+		takenAt: time.Now(),
+		done:    make(chan error, 1),
+	}
+	s.inflight = in
+	path := CheckpointPath(s.opts.Dir)
+	go func() {
+		err := storage.WriteCheckpointFile(path, ck)
+		if err != nil {
+			s.checkpointErrors.Add(1)
+		}
+		in.done <- err
+	}()
+	return nil
 }
 
 func (s *Store) shouldCheckpoint() bool {
@@ -379,56 +525,43 @@ func (s *Store) shouldCheckpoint() bool {
 	return false
 }
 
-// Checkpoint captures the engine's current state, installs it durably
-// (temp file, fsync, atomic rename, directory fsync) under the next epoch,
-// and truncates the log to that epoch. Belongs to the single writer; the
-// engine must not be mutated concurrently, which the serving core's writer
-// loop guarantees.
+// Checkpoint synchronously captures the engine's current state, serializes
+// the pinned relation view without holding any engine or relation lock,
+// installs the file durably (temp file, fsync, atomic rename, directory
+// fsync) under the next epoch, and truncates the log's covered prefix. A
+// background install still in flight is collected first. Belongs to the
+// single writer; the serving core's writer loop guarantees the engine is
+// not mutated concurrently with the capture.
 func (s *Store) Checkpoint() error {
 	if s.closed {
 		return errors.New("wal: store closed")
 	}
+	if err := s.finishInstall(true); err != nil {
+		return err
+	}
 	if s.failed != nil {
 		return fmt.Errorf("wal: store failed (restart to recover): %w", s.failed)
 	}
-	st := s.eng.State()
-	next := s.log.Epoch() + 1
-	ck := &storage.Checkpoint{
-		Epoch:             next,
-		ConfigFingerprint: configFingerprint(s.cfg, s.eopts),
-		Relation:          s.eng.Relation(),
-		Valid:             st.Valid,
-		Candidates:        st.Candidates,
-		DataPatterns:      st.DataPatterns,
-		AnnotPatterns:     st.AnnotPatterns,
-		Counters:          countersFromStats(st.Stats),
-	}
+	ck := s.capture()
+	takenAt := time.Now()
 	if err := storage.WriteCheckpointFile(CheckpointPath(s.opts.Dir), ck); err != nil {
 		s.checkpointErrors.Add(1)
 		return err
 	}
-	if err := s.log.Truncate(next); err != nil {
-		// The checkpoint is installed but the log still carries the old
-		// epoch: recovery would discard anything appended to it. Latch the
-		// failure so appends refuse instead of losing acknowledged writes.
-		s.failed = err
-		s.checkpointErrors.Add(1)
-		return err
-	}
-	s.checkpoints.Add(1)
-	s.lastCheckpoint.Store(time.Now().UnixNano())
-	s.logBytes.Store(s.log.Size())
-	s.oldestPending = time.Time{}
-	return nil
+	return s.finishTruncate(ck.Epoch, int64(ck.CoveredBytes), takenAt)
 }
 
-// Close syncs and closes the log. Close the serving core first so the
-// writer loop has drained: records appended after Close are lost errors.
-// The store is unusable afterwards; reopen with Open.
+// Close collects any in-flight background checkpoint, then syncs and closes
+// the log. Close the serving core first so the writer loop has drained:
+// records appended after Close are lost errors. The store is unusable
+// afterwards; reopen with Open.
 func (s *Store) Close() error {
 	if s.closed {
 		return nil
 	}
+	// A failed install is safe to drop: the old checkpoint plus the full
+	// log still recover everything acknowledged.
+	_ = s.finishInstall(true)
 	s.closed = true
 	return s.log.Close()
 }

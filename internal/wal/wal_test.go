@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 	"annotadb/internal/incremental"
 	"annotadb/internal/mining"
 	"annotadb/internal/relation"
+	"annotadb/internal/serve"
 	"annotadb/internal/storage"
 )
 
@@ -381,6 +383,12 @@ func TestStoreCheckpointPolicyTruncatesLog(t *testing.T) {
 	if err := s.Committed(); err != nil {
 		t.Fatal(err)
 	}
+	// Policy checkpoints install in the background; the writer collects the
+	// result (and truncates the covered log prefix) on a later Committed,
+	// Checkpoint, or Close. Collect it deterministically here.
+	if err := s.finishInstall(true); err != nil {
+		t.Fatal(err)
+	}
 	st := s.Stats()
 	if st.Checkpoints != 2 { // initial + policy-triggered
 		t.Errorf("checkpoints = %d, want 2", st.Checkpoints)
@@ -577,5 +585,137 @@ func TestLogMidCorruptionIsHardError(t *testing.T) {
 	_, err = l.Replay(func(Record) error { return nil })
 	if err == nil || !strings.Contains(err.Error(), "mid-log corruption") {
 		t.Fatalf("replay over mid-log damage = %v, want hard mid-log corruption error", err)
+	}
+}
+
+// TestStoreReplaysUncoveredTailAfterInstallCrash simulates the crash window
+// background checkpointing opens: a checkpoint is captured and installed
+// while the writer keeps appending, and the process dies before the log is
+// truncated. The checkpoint's CoveredBytes then splits the log — the prefix
+// is folded in (replaying it would double-apply), the tail is not (dropping
+// it would lose acknowledged writes). Recovery must replay exactly the tail.
+func TestStoreReplaysUncoveredTailAfterInstallCrash(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, CheckpointBytes: -1}
+	s := openFixtureStore(t, opts)
+	dict := s.Engine().Relation().Dictionary()
+	a1, _ := dict.Lookup("Annot_1")
+	a5, _ := dict.Lookup("Annot_5")
+
+	// Batch A: logged and applied, then captured by a checkpoint.
+	batchA := []relation.AnnotationUpdate{{Index: 5, Annotation: a1}}
+	if err := s.LogAnnotations(batchA, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Engine().AddAnnotations(batchA); err != nil {
+		t.Fatal(err)
+	}
+	ck := s.capture() // what the background installer would serialize
+
+	// Batch B: appended while the install is "in flight".
+	batchB := []relation.AnnotationUpdate{{Index: 7, Annotation: a5}}
+	if err := s.LogAnnotations(batchB, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Engine().AddAnnotations(batchB); err != nil {
+		t.Fatal(err)
+	}
+	wantRules := renderedRules(s.Engine())
+	wantTuples := s.Engine().Relation().Len()
+
+	// Install the checkpoint durably, then "crash" before the truncation.
+	if err := storage.WriteCheckpointFile(CheckpointPath(dir), ck); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openFixtureStore(t, opts)
+	rec := s2.Recovery()
+	if !rec.FromCheckpoint {
+		t.Fatal("reopen did not recover from the installed checkpoint")
+	}
+	if !rec.StaleLogDropped {
+		t.Error("covered log prefix not reported as dropped")
+	}
+	if rec.Records != 1 {
+		t.Fatalf("replayed %d records, want 1 (batch B only — batch A is covered)", rec.Records)
+	}
+	if got := s2.Engine().Relation().Len(); got != wantTuples {
+		t.Errorf("recovered %d tuples, want %d", got, wantTuples)
+	}
+	if got := renderedRules(s2.Engine()); !reflect.DeepEqual(got, wantRules) {
+		t.Errorf("recovered rules:\n%v\nwant:\n%v", got, wantRules)
+	}
+	if err := s2.Engine().Verify(); err != nil {
+		t.Errorf("recovered state fails re-mine verification: %v", err)
+	}
+	// The finished truncation re-stamped the log with the checkpoint's epoch
+	// and kept batch B as its (only) pending record.
+	if !s2.HasPendingRecords() {
+		t.Error("uncovered tail did not survive the finished truncation")
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A third open replays the tail again off the equal-epoch log.
+	s3 := openFixtureStore(t, opts)
+	if rec := s3.Recovery(); rec.Records != 1 || rec.StaleLogDropped {
+		t.Fatalf("third open recovery = %+v, want 1 replayed record from the equal-epoch log", rec)
+	}
+	if err := s3.Engine().Verify(); err != nil {
+		t.Errorf("third open fails re-mine verification: %v", err)
+	}
+}
+
+// TestStoreBackgroundCheckpointsUnderServingLoad drives the production
+// wiring — serve writer + journal — with a per-batch checkpoint policy so
+// background installs continuously overlap appends, then closes gracefully
+// and verifies the recovered state against a full re-mine.
+func TestStoreBackgroundCheckpointsUnderServingLoad(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, CheckpointBytes: 1}
+	s := openFixtureStore(t, opts)
+	srv := serve.New(s.Engine(), serve.Config{BatchWindow: -1, Journal: s})
+	dict := s.Engine().Relation().Dictionary()
+	a1, _ := dict.Lookup("Annot_1")
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		var err error
+		if i%2 == 0 {
+			_, err = srv.AddAnnotations(ctx, []relation.AnnotationUpdate{{Index: i % 10, Annotation: a1}})
+		} else {
+			_, err = srv.RemoveAnnotations(ctx, []relation.AnnotationUpdate{{Index: i % 10, Annotation: a1}})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wantRules := renderedRules(s.Engine())
+	st := s.Stats()
+	if st.Checkpoints < 2 {
+		t.Errorf("background policy wrote %d checkpoints, want >= 2", st.Checkpoints)
+	}
+	if st.CheckpointErrors != 0 {
+		t.Errorf("checkpoint errors = %d, want 0", st.CheckpointErrors)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openFixtureStore(t, opts)
+	if !s2.Recovery().FromCheckpoint {
+		t.Fatal("reopen did not recover from checkpoint")
+	}
+	if got := renderedRules(s2.Engine()); !reflect.DeepEqual(got, wantRules) {
+		t.Errorf("recovered rules:\n%v\nwant:\n%v", got, wantRules)
+	}
+	if err := s2.Engine().Verify(); err != nil {
+		t.Errorf("recovered state fails re-mine verification: %v", err)
 	}
 }

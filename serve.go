@@ -153,13 +153,18 @@ func (s *Server) Rules() []Rule {
 }
 
 // Recommend evaluates the snapshot's rules against the tuple at zero-based
-// position idx, reading the tuple's current contents.
-func (s *Server) Recommend(idx int) ([]Recommendation, error) {
-	recs, err := s.core.Recommend(idx)
+// position idx. The tuple contents and the rules both come from the same
+// published generation — identified by the returned sequence number — so
+// the answer is snapshot-consistent: a tuple annotated after the snapshot
+// was published is scored exactly as the snapshot's rules knew it. A tuple
+// appended after the last publish reports ErrTupleIndex until the next
+// batch publishes.
+func (s *Server) Recommend(idx int) ([]Recommendation, uint64, error) {
+	recs, seq, err := s.core.Recommend(idx)
 	if err != nil {
-		return nil, err
+		return nil, seq, err
 	}
-	return publicRecommendations(recs, s.ds.rel.Dictionary()), nil
+	return publicRecommendations(recs, s.ds.rel.Dictionary()), seq, nil
 }
 
 // RecommendForTuple evaluates a not-yet-inserted tuple against the
@@ -291,12 +296,24 @@ func (s *Server) ApplyUpdateFile(ctx context.Context, r io.Reader) (UpdateReport
 
 // ServerStats reports serving activity and the published snapshot.
 type ServerStats struct {
-	// SnapshotSeq is the publish sequence number of the current snapshot.
+	// SnapshotSeq is the publish sequence number of the current snapshot —
+	// the generation every read in flight is being answered from.
 	SnapshotSeq uint64
 	// Tuples is the relation size the snapshot's rules refer to.
 	Tuples int
 	// RuleCount is the number of valid rules in the snapshot.
 	RuleCount int
+	// RelVersion is the relation mutation counter the snapshot was
+	// published at; LiveRelVersion is the counter now. Their difference is
+	// the snapshot's staleness in relation mutations (0 when idle).
+	RelVersion     uint64
+	LiveRelVersion uint64
+	// Attachments and DistinctAnnotations describe the snapshot's relation
+	// generation: total (tuple, annotation) pairs and annotations present
+	// on at least one tuple. Both come from the frozen frequency table, so
+	// polling them never blocks the writer.
+	Attachments         int
+	DistinctAnnotations int
 	// Requests, Batches, Coalesced, Reads are serving counters: write
 	// requests accepted, engine applications after coalescing, requests
 	// that shared an application, and snapshot reads served.
@@ -312,13 +329,17 @@ type ServerStats struct {
 func (s *Server) Stats() ServerStats {
 	st := s.core.Stats()
 	return ServerStats{
-		SnapshotSeq: st.Seq,
-		Tuples:      st.N,
-		RuleCount:   st.RuleCount,
-		Requests:    st.Requests,
-		Batches:     st.Batches,
-		Coalesced:   st.Coalesced,
-		Reads:       st.Reads,
-		Remines:     st.Engine.Remines,
+		SnapshotSeq:         st.Seq,
+		Tuples:              st.N,
+		RuleCount:           st.RuleCount,
+		RelVersion:          st.RelVersion,
+		LiveRelVersion:      st.LiveRelVersion,
+		Attachments:         st.Attachments,
+		DistinctAnnotations: st.DistinctAnnotations,
+		Requests:            st.Requests,
+		Batches:             st.Batches,
+		Coalesced:           st.Coalesced,
+		Reads:               st.Reads,
+		Remines:             st.Engine.Remines,
 	}
 }

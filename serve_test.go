@@ -132,9 +132,12 @@ func TestServerWriteReadCycle(t *testing.T) {
 func TestServerRecommendAndTrigger(t *testing.T) {
 	srv := newTestServer(t, ServeOptions{})
 	// Tuple 6 = {41,85}+Annot_5: Annot_5=>Annot_1 (conf 4/5) applies.
-	recs, err := srv.Recommend(6)
+	recs, seq, err := srv.Recommend(6)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if seq == 0 {
+		t.Error("Recommend reported zero snapshot sequence")
 	}
 	found := false
 	for _, r := range recs {
@@ -215,7 +218,7 @@ func TestServerConcurrentFacadeAccess(t *testing.T) {
 						t.Errorf("reader %d: empty rules", w)
 						return
 					}
-					if _, err := srv.Recommend(i % 10); err != nil {
+					if _, _, err := srv.Recommend(i % 10); err != nil {
 						t.Errorf("reader %d: %v", w, err)
 						return
 					}
