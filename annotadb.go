@@ -22,7 +22,9 @@
 //   - Server (NewServer): a concurrent serving core — reads answer from an
 //     atomically published immutable snapshot and never block behind
 //     writes, writes are coalesced by a single writer; cmd/annotserve puts
-//     it on HTTP;
+//     it on HTTP. With ServeOptions.Shards (or NewShardedServer) the state
+//     partitions by annotation family into independent write paths whose
+//     merged view stays exact for intra-family correlations;
 //   - OpenDurable: the persistent form of the above — every update batch
 //     is write-ahead logged and the mined state is checkpointed, so a
 //     restart recovers in time proportional to the un-checkpointed tail
@@ -65,6 +67,7 @@
 package annotadb
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -77,6 +80,7 @@ import (
 	"annotadb/internal/predict"
 	"annotadb/internal/relation"
 	"annotadb/internal/rules"
+	"annotadb/internal/shard"
 	"annotadb/internal/storage"
 	"annotadb/internal/wal"
 )
@@ -370,13 +374,27 @@ type TupleSpec struct {
 // Engine maintains the rule set of a dataset incrementally. After an Engine
 // is created, route all dataset mutations through it; mutating the Dataset
 // directly leaves the engine's rules stale.
+//
+// An engine opened with DurabilityOptions.Shards > 1 is a handle on a
+// sharded cluster: wrap it in NewServer and route everything through the
+// Server — direct Engine reads return empty results and direct Engine
+// writes fail with ErrShardedEngine (there is no single underlying engine
+// to call).
 type Engine struct {
 	ds  *Dataset
 	eng *incremental.Engine
 	// store is the durable backing store when the engine came from
 	// OpenDurable; NewServer wires it into the serving writer's journal.
 	store *wal.Store
+	// cluster is the sharded durable backing store when the engine came
+	// from OpenDurable with Shards > 1; NewServer wires its per-shard
+	// stores into the per-shard writers' journals.
+	cluster *shard.Cluster
 }
+
+// ErrShardedEngine is returned by direct Engine mutations on a sharded
+// engine; wrap the engine in NewServer and write through the Server.
+var ErrShardedEngine = errors.New("annotadb: sharded engine: route reads and writes through NewServer")
 
 // incrementalOptions maps public Options to engine internals.
 func incrementalOptions(opts Options) incremental.Options {
@@ -403,14 +421,21 @@ func NewEngine(d *Dataset, opts Options) (*Engine, error) {
 // Dataset returns the engine's dataset (treat as read-only).
 func (e *Engine) Dataset() *Dataset { return e.ds }
 
-// Rules returns the current valid rules, deterministically ordered.
+// Rules returns the current valid rules, deterministically ordered, or nil
+// for a sharded engine (read through the Server instead).
 func (e *Engine) Rules() []Rule {
+	if e.eng == nil {
+		return nil
+	}
 	return publicRules(e.eng.Rules(), e.ds.rel.Dictionary())
 }
 
 // Candidates returns the near-miss candidate store (rules slightly below
-// the thresholds, retained for cheap promotion).
+// the thresholds, retained for cheap promotion). Nil for a sharded engine.
 func (e *Engine) Candidates() []Rule {
+	if e.eng == nil {
+		return nil
+	}
 	return publicRules(e.eng.Candidates(), e.ds.rel.Dictionary())
 }
 
@@ -418,6 +443,9 @@ func (e *Engine) Candidates() []Rule {
 // when any tuple carries annotations and the cheaper Case 2 path when none
 // do.
 func (e *Engine) AddTuples(batch []TupleSpec) (UpdateReport, error) {
+	if e.eng == nil {
+		return UpdateReport{}, ErrShardedEngine
+	}
 	dict := e.ds.rel.Dictionary()
 	tuples := make([]relation.Tuple, 0, len(batch))
 	annotated := false
@@ -450,6 +478,9 @@ func (e *Engine) AddTuples(batch []TupleSpec) (UpdateReport, error) {
 // Figures 12–13). Duplicate attachments are skipped and reported, matching
 // the paper's "a data tuple can have a given label at most once".
 func (e *Engine) AddAnnotations(batch []AnnotationUpdate) (UpdateReport, error) {
+	if e.eng == nil {
+		return UpdateReport{}, ErrShardedEngine
+	}
 	dict := e.ds.rel.Dictionary()
 	updates := make([]relation.AnnotationUpdate, 0, len(batch))
 	for i, u := range batch {
@@ -471,6 +502,9 @@ func (e *Engine) AddAnnotations(batch []AnnotationUpdate) (UpdateReport, error) 
 // present are skipped and reported. Confidence can rise under removal, so
 // the report may show promotions.
 func (e *Engine) RemoveAnnotations(batch []AnnotationUpdate) (UpdateReport, error) {
+	if e.eng == nil {
+		return UpdateReport{}, ErrShardedEngine
+	}
 	dict := e.ds.rel.Dictionary()
 	updates := make([]relation.AnnotationUpdate, 0, len(batch))
 	for i, u := range batch {
@@ -493,6 +527,9 @@ func (e *Engine) RemoveAnnotations(batch []AnnotationUpdate) (UpdateReport, erro
 // ApplyUpdateFile reads a Figure 14-format annotation batch ("150:Annot_3",
 // 1-based tuple indexes) and applies it through the engine.
 func (e *Engine) ApplyUpdateFile(r io.Reader) (UpdateReport, error) {
+	if e.eng == nil {
+		return UpdateReport{}, ErrShardedEngine
+	}
 	lines, err := storage.ReadUpdateBatch(r, storage.Options{})
 	if err != nil {
 		return UpdateReport{}, err
@@ -510,8 +547,19 @@ func (e *Engine) ApplyUpdateFile(r io.Reader) (UpdateReport, error) {
 
 // Verify re-mines from scratch and checks the maintained rules are
 // identical — the paper's own validation methodology, exposed for tests and
-// audits.
-func (e *Engine) Verify() error { return e.eng.Verify() }
+// audits. On a sharded engine every shard is verified against a re-mine of
+// its own family projection.
+func (e *Engine) Verify() error {
+	if e.cluster != nil {
+		for s, eng := range e.cluster.Engines() {
+			if err := eng.Verify(); err != nil {
+				return fmt.Errorf("annotadb: shard %d: %w", s, err)
+			}
+		}
+		return nil
+	}
+	return e.eng.Verify()
+}
 
 // Generalization is one concept-mapping rule (Figure 9): any tuple carrying
 // any source annotation receives Label.
@@ -574,6 +622,9 @@ func (d *Dataset) ApplyGeneralizations(gens []Generalization) (*GeneralizationRe
 // routes the attachments through incremental maintenance as a Case 3 batch,
 // so the mined rules immediately reflect the extended database.
 func (e *Engine) ApplyGeneralizations(gens []Generalization) (*GeneralizationReport, error) {
+	if e.eng == nil {
+		return nil, ErrShardedEngine
+	}
 	h, err := buildHierarchy(gens)
 	if err != nil {
 		return nil, err
@@ -647,13 +698,21 @@ func publicRecommendations(recs []predict.Recommendation, dict *relation.Diction
 }
 
 // RecommendAll scans the whole dataset for missing annotations (§5 case 1).
+// Nil for a sharded engine.
 func (e *Engine) RecommendAll(opts RecommendOptions) []Recommendation {
+	if e.eng == nil {
+		return nil
+	}
 	rc := predict.NewRecommender(e.ds.rel, e.eng, opts.internal())
 	return publicRecommendations(rc.ScanAll(), e.ds.rel.Dictionary())
 }
 
-// RecommendRange scans tuple positions [start, end).
+// RecommendRange scans tuple positions [start, end). Nil for a sharded
+// engine.
 func (e *Engine) RecommendRange(start, end int, opts RecommendOptions) []Recommendation {
+	if e.eng == nil {
+		return nil
+	}
 	rc := predict.NewRecommender(e.ds.rel, e.eng, opts.internal())
 	return publicRecommendations(rc.ScanRange(start, end), e.ds.rel.Dictionary())
 }
@@ -661,6 +720,9 @@ func (e *Engine) RecommendRange(start, end int, opts RecommendOptions) []Recomme
 // RecommendForTuple evaluates a tuple before insertion (§5 case 2, the
 // trigger path): which annotations would the current rules suggest?
 func (e *Engine) RecommendForTuple(spec TupleSpec, opts RecommendOptions) ([]Recommendation, error) {
+	if e.eng == nil {
+		return nil, ErrShardedEngine
+	}
 	tu, err := buildTuple(e.ds.rel.Dictionary(), spec.Values, spec.Annotations)
 	if err != nil {
 		return nil, err
@@ -675,6 +737,9 @@ func (e *Engine) RecommendForTuple(spec TupleSpec, opts RecommendOptions) ([]Rec
 // the database, the system automatically compares these tuples to the
 // association rules".
 func (e *Engine) AddTuplesWithTrigger(batch []TupleSpec, opts RecommendOptions) (UpdateReport, []Recommendation, error) {
+	if e.eng == nil {
+		return UpdateReport{}, nil, ErrShardedEngine
+	}
 	start := e.ds.Len()
 	rep, err := e.AddTuples(batch)
 	if err != nil {

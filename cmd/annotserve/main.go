@@ -11,7 +11,7 @@
 //
 //	annotserve -data dataset.txt [-addr :8080] [-min-support 0.4]
 //	           [-min-confidence 0.8] [-algorithm apriori]
-//	           [-batch-window 1ms]
+//	           [-batch-window 1ms] [-shards 4]
 //	           [-data-dir ./annotdata] [-fsync always]
 //	           [-checkpoint-bytes 4194304] [-checkpoint-age 0]
 //
@@ -20,6 +20,16 @@
 // checkpointed on a size/age policy, so a restart recovers from
 // checkpoint + log tail instead of re-mining the dataset (-data is then
 // only needed the first time, to seed an empty directory).
+//
+// With -shards N the write path is partitioned by annotation family
+// (the token prefix before the first ":", or the whole token): each shard
+// keeps its own relation replica, engine, writer loop, and — under
+// -data-dir — its own WAL and checkpoints in shard-NN subdirectories tied
+// together by a manifest that pins the shard count. Annotation batches for
+// different families commit in parallel; /stats gains a per-shard section
+// and /recommend reports the per-shard seq_vector it answered from.
+// Annotation-to-annotation correlations are discovered within a family —
+// see the sharding section of ARCHITECTURE.md and README.md here.
 //
 // Endpoints (see README.md in this directory for curl examples and the
 // error schema):
@@ -88,6 +98,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		recLimit      = fs.Int("rec-limit", 0, "cap recommendations per query (0 = unbounded)")
 		drainTimeout  = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
 		dataDir       = fs.String("data-dir", "", "durable store directory (WAL + checkpoints); empty serves in memory only")
+		shards        = fs.Int("shards", 1, "partition the write path into this many annotation-family shards (parallel writers; pinned by the durable manifest)")
 		fsyncPolicy   = fs.String("fsync", "always", "WAL fsync policy: always, interval, or never")
 		fsyncInterval = fs.Duration("fsync-interval", 0, "fsync cadence under -fsync interval (0 = 100ms)")
 		ckptBytes     = fs.Int64("checkpoint-bytes", 0, "checkpoint when the WAL reaches this size (0 = 4MiB, negative disables)")
@@ -114,14 +125,27 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MinConfidence: *minConfidence,
 		Algorithm:     *algorithm,
 	}
+	sopts := annotadb.ServeOptions{
+		BatchWindow: *batchWindow,
+		Shards:      *shards,
+		Recommend: annotadb.RecommendOptions{
+			MinConfidence: *recMinConf,
+			MinSupport:    *recMinSup,
+			Limit:         *recLimit,
+		},
+	}
 	var (
-		eng *annotadb.Engine
+		srv *annotadb.Server
 		err error
 	)
 	if *dataDir != "" {
-		var rec annotadb.RecoveryReport
+		var (
+			eng *annotadb.Engine
+			rec annotadb.RecoveryReport
+		)
 		eng, rec, err = annotadb.OpenDurable(*data, opts, annotadb.DurabilityOptions{
 			Dir:             *dataDir,
+			Shards:          *shards,
 			Fsync:           *fsyncPolicy,
 			FsyncInterval:   *fsyncInterval,
 			CheckpointBytes: *ckptBytes,
@@ -138,25 +162,38 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "annotserve: bootstrapped %s in %.3fs (first checkpoint written)\n",
 				*dataDir, rec.DurationSeconds)
 		}
+		srv, err = annotadb.NewServer(eng, sopts)
+		if err != nil {
+			return err
+		}
+	} else if *shards > 1 {
+		// In-memory sharded: partition the dataset directly, skipping the
+		// full unsharded bootstrap mine an Engine would pay.
+		var ds *annotadb.Dataset
+		ds, err = annotadb.LoadDataset(*data)
+		if err != nil {
+			return err
+		}
+		srv, err = annotadb.NewShardedServer(ds, opts, sopts)
+		if err != nil {
+			return err
+		}
 	} else {
 		var ds *annotadb.Dataset
 		ds, err = annotadb.LoadDataset(*data)
 		if err != nil {
 			return err
 		}
+		var eng *annotadb.Engine
 		eng, err = annotadb.NewEngine(ds, opts)
 		if err != nil {
 			return err
 		}
+		srv, err = annotadb.NewServer(eng, sopts)
+		if err != nil {
+			return err
+		}
 	}
-	srv := annotadb.NewServer(eng, annotadb.ServeOptions{
-		BatchWindow: *batchWindow,
-		Recommend: annotadb.RecommendOptions{
-			MinConfidence: *recMinConf,
-			MinSupport:    *recMinSup,
-			Limit:         *recLimit,
-		},
-	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -167,8 +204,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		source = *dataDir
 	}
 	st := srv.Stats()
-	fmt.Fprintf(stdout, "annotserve: serving %s (%d tuples, %d rules) on http://%s\n",
-		source, st.Tuples, st.RuleCount, ln.Addr())
+	if srv.Sharded() {
+		fmt.Fprintf(stdout, "annotserve: serving %s (%d tuples, %d rules, %d family shards) on http://%s\n",
+			source, st.Tuples, st.RuleCount, srv.Shards(), ln.Addr())
+	} else {
+		fmt.Fprintf(stdout, "annotserve: serving %s (%d tuples, %d rules) on http://%s\n",
+			source, st.Tuples, st.RuleCount, ln.Addr())
+	}
 
 	hs := &http.Server{Handler: newHandler(srv)}
 	serveErr := make(chan error, 1)
@@ -376,7 +418,7 @@ func (a *api) recommend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeInvalidArgument, fmt.Errorf("tuple index must be non-negative, got %d", idx))
 		return
 	}
-	recs, seq, err := a.srv.Recommend(idx)
+	recs, seq, err := a.srv.RecommendAt(idx)
 	if err != nil {
 		writeError(w, http.StatusNotFound, codeNotFound, err)
 		return
@@ -389,7 +431,13 @@ func (a *api) recommend(w http.ResponseWriter, r *http.Request) {
 			Rule:       toRuleJSON(rec.Rule),
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"tuple": idx, "seq": seq, "count": len(out), "recommendations": out})
+	body := map[string]any{"tuple": idx, "seq": seq.Seq, "count": len(out), "recommendations": out}
+	if seq.Shards != nil {
+		// Sharded: the per-shard snapshot sequence vector the answer was
+		// assembled from.
+		body["seq_vector"] = seq.Shards
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 type annotationsRequest struct {
@@ -483,6 +531,33 @@ func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 		"attachments":          st.Attachments,
 		"distinct_annotations": st.DistinctAnnotations,
 	}
+	if st.Shards > 0 {
+		// Sharded: the merged generation's identity plus a per-shard
+		// breakdown, so operators can see the write-load balance across
+		// family shards and each shard's snapshot staleness.
+		body["shards"] = st.Shards
+		body["seq_vector"] = st.SeqVector
+		perShard := make([]map[string]any, len(st.PerShard))
+		for i, ss := range st.PerShard {
+			perShard[i] = map[string]any{
+				"shard":                ss.Shard,
+				"seq":                  ss.SnapshotSeq,
+				"tuples":               ss.Tuples,
+				"rule_count":           ss.RuleCount,
+				"rel_version":          ss.RelVersion,
+				"live_rel_version":     ss.LiveRelVersion,
+				"staleness":            ss.LiveRelVersion - ss.RelVersion,
+				"attachments":          ss.Attachments,
+				"distinct_annotations": ss.DistinctAnnotations,
+				"requests":             ss.Requests,
+				"batches":              ss.Batches,
+				"coalesced":            ss.Coalesced,
+				"reads":                ss.Reads,
+				"remines":              ss.Remines,
+			}
+		}
+		body["per_shard"] = perShard
+	}
 	if d := a.srv.Durability(); d != nil {
 		durability := map[string]any{
 			"records_appended":     d.RecordsAppended,
@@ -498,6 +573,21 @@ func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 		}
 		if d.LastCheckpointUnixNano != 0 {
 			durability["last_checkpoint_unix"] = float64(d.LastCheckpointUnixNano) / float64(time.Second)
+		}
+		if d.PerShard != nil {
+			durability["padded_tuples"] = d.Recovery.PaddedTuples
+			per := make([]map[string]any, len(d.PerShard))
+			for i, ss := range d.PerShard {
+				per[i] = map[string]any{
+					"shard":             ss.Shard,
+					"records_appended":  ss.RecordsAppended,
+					"log_bytes":         ss.LogBytes,
+					"syncs":             ss.Syncs,
+					"checkpoints":       ss.Checkpoints,
+					"checkpoint_errors": ss.CheckpointErrors,
+				}
+			}
+			durability["per_shard"] = per
 		}
 		body["durability"] = durability
 	}

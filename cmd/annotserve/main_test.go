@@ -50,7 +50,10 @@ func newTestAPI(t *testing.T) (*httptest.Server, *annotadb.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := annotadb.NewServer(eng, annotadb.ServeOptions{BatchWindow: 200 * time.Microsecond})
+	srv, err := annotadb.NewServer(eng, annotadb.ServeOptions{BatchWindow: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(newHandler(srv))
 	t.Cleanup(func() {
 		ts.Close()
@@ -402,7 +405,10 @@ func TestWriteAfterShutdownIs503(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := annotadb.NewServer(eng, annotadb.ServeOptions{BatchWindow: -1})
+	srv, err := annotadb.NewServer(eng, annotadb.ServeOptions{BatchWindow: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(newHandler(srv))
 	defer ts.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -671,5 +677,144 @@ func TestRunRefusesEmptyDataDirWithoutData(t *testing.T) {
 	err := run(context.Background(), []string{"-data-dir", filepath.Join(t.TempDir(), "nope"), "-addr", "127.0.0.1:0"}, out)
 	if err == nil || !strings.Contains(err.Error(), "holds no checkpoint") {
 		t.Fatalf("run with fresh -data-dir and no -data = %v, want no-checkpoint error", err)
+	}
+}
+
+// shardedDataset uses family-namespaced annotation tokens, the sharded
+// contract's shape: every correlation stays within one family prefix.
+const shardedDataset = `28 85 99 Annot_q:1 Annot_q:5
+28 85 12 Annot_q:1 Annot_q:5
+28 85 40 Annot_q:1 Annot_q:5
+28 85 41 Annot_q:1
+28 85 Annot_q:1
+28 41
+41 85 Annot_q:5
+62 12 Annot_src:a
+62 40 Annot_src:a
+99 12
+`
+
+func newShardedAPI(t *testing.T, shards int) (*httptest.Server, *annotadb.Server) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "dataset.txt")
+	if err := os.WriteFile(path, []byte(shardedDataset), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := annotadb.LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := annotadb.NewShardedServer(ds, annotadb.Options{MinSupport: 0.3, MinConfidence: 0.7},
+		annotadb.ServeOptions{BatchWindow: -1, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(srv))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	return ts, srv
+}
+
+// TestShardedEndpoints exercises the HTTP surface of a sharded server: the
+// merged /rules, /recommend with its seq_vector, write endpoints routing by
+// family, and the per-shard /stats section.
+func TestShardedEndpoints(t *testing.T) {
+	const shards = 3
+	ts, _ := newShardedAPI(t, shards)
+
+	var rulesBody struct {
+		Count int        `json:"count"`
+		Rules []ruleJSON `json:"rules"`
+	}
+	if code := getJSON(t, ts.URL+"/rules", &rulesBody); code != http.StatusOK {
+		t.Fatalf("GET /rules = %d", code)
+	}
+	if rulesBody.Count == 0 {
+		t.Fatal("sharded server served no rules")
+	}
+
+	var recBody struct {
+		Seq       uint64   `json:"seq"`
+		SeqVector []uint64 `json:"seq_vector"`
+		Count     int      `json:"count"`
+	}
+	if code := getJSON(t, ts.URL+"/recommend?tuple=5", &recBody); code != http.StatusOK {
+		t.Fatalf("GET /recommend = %d", code)
+	}
+	if len(recBody.SeqVector) != shards {
+		t.Errorf("recommend seq_vector has %d entries, want %d", len(recBody.SeqVector), shards)
+	}
+
+	// Writes route by family and refresh the merged state.
+	var rep reportJSON
+	if code := postJSON(t, ts.URL+"/annotations", `{"updates":[{"tuple":5,"annotation":"Annot_q:1"},{"tuple":9,"annotation":"Annot_src:a"}]}`, &rep); code != http.StatusOK {
+		t.Fatalf("POST /annotations = %d", code)
+	}
+	if rep.Applied != 2 {
+		t.Errorf("sharded annotation batch applied %d, want 2", rep.Applied)
+	}
+	if code := postJSON(t, ts.URL+"/tuples", `{"tuples":[{"values":["28","85"],"annotations":["Annot_q:1","Annot_src:a"]}]}`, &rep); code != http.StatusOK {
+		t.Fatalf("POST /tuples = %d", code)
+	}
+	if rep.Applied != 1 {
+		t.Errorf("sharded tuple batch applied %d, want 1", rep.Applied)
+	}
+
+	var stats struct {
+		Tuples    int              `json:"tuples"`
+		Shards    int              `json:"shards"`
+		SeqVector []uint64         `json:"seq_vector"`
+		PerShard  []map[string]any `json:"per_shard"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", code)
+	}
+	if stats.Shards != shards || len(stats.SeqVector) != shards || len(stats.PerShard) != shards {
+		t.Errorf("sharded stats sections wrong: %+v", stats)
+	}
+	if stats.Tuples != 11 {
+		t.Errorf("merged tuples = %d, want 11", stats.Tuples)
+	}
+	attachSum := 0.0
+	for _, ps := range stats.PerShard {
+		attachSum += ps["attachments"].(float64)
+		for _, key := range []string{"shard", "seq", "staleness", "rule_count", "requests"} {
+			if _, ok := ps[key]; !ok {
+				t.Errorf("per-shard stats missing %q: %v", key, ps)
+			}
+		}
+	}
+	// 11 base attachments + 2 posted + 2 on the appended tuple.
+	if attachSum != 15 {
+		t.Errorf("per-shard attachments sum to %v, want 15", attachSum)
+	}
+}
+
+// TestRunServesSharded boots the full binary path with -shards and checks
+// the announcement and a health probe.
+func TestRunServesSharded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dataset.txt")
+	if err := os.WriteFile(path, []byte(shardedDataset), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	url, out, cancel, done := startRun(t, []string{"-data", path, "-addr", "127.0.0.1:0", "-min-support", "0.3", "-min-confidence", "0.7", "-shards", "2"})
+	if code := getJSON(t, url+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", code)
+	}
+	var stats struct {
+		Shards int `json:"shards"`
+	}
+	if code := getJSON(t, url+"/stats", &stats); code != http.StatusOK || stats.Shards != 2 {
+		t.Fatalf("GET /stats = %d shards=%d, want 200/2", code, stats.Shards)
+	}
+	stopRun(t, cancel, done)
+	if !strings.Contains(out.String(), "2 family shards") {
+		t.Errorf("startup line missing shard count: %q", out.String())
 	}
 }

@@ -1,9 +1,11 @@
 package annotadb
 
 import (
+	"fmt"
 	"time"
 
 	"annotadb/internal/relation"
+	"annotadb/internal/shard"
 	"annotadb/internal/storage"
 	"annotadb/internal/wal"
 )
@@ -14,6 +16,12 @@ import (
 type DurabilityOptions struct {
 	// Dir is the data directory (created if absent). Required.
 	Dir string
+	// Shards partitions the durable store by annotation family into this
+	// many independent shards, each with its own WAL and checkpoints under
+	// Dir/shard-NN and a manifest tying their generations together. The
+	// count is pinned by the manifest on first open; 0 or 1 keeps the
+	// single-store layout.
+	Shards int
 	// Fsync says when log appends reach stable storage: "always" (default;
 	// every record), "interval" (at most once per FsyncInterval), or
 	// "never" (left to the OS page cache).
@@ -21,7 +29,8 @@ type DurabilityOptions struct {
 	// FsyncInterval is the cadence under Fsync "interval" (0 = 100ms).
 	FsyncInterval time.Duration
 	// CheckpointBytes checkpoints when the log reaches this size
-	// (0 = 4 MiB, negative disables the size policy).
+	// (0 = 4 MiB, negative disables the size policy). Sharded stores apply
+	// the policy per shard.
 	CheckpointBytes int64
 	// CheckpointAge checkpoints when the oldest un-checkpointed record is
 	// at least this old (0 disables the age policy).
@@ -50,30 +59,55 @@ func (d DurabilityOptions) internal() (wal.Options, error) {
 	}, nil
 }
 
-// HasDurableState reports whether dir holds a checkpoint from a previous
-// run — i.e. whether OpenDurable would recover instead of bootstrapping.
-// Callers that only mean to reopen existing state (no dataset to seed with)
-// should check this first: bootstrapping a mistyped directory would quietly
-// serve an empty dataset.
-func HasDurableState(dir string) bool { return wal.HasCheckpoint(dir) }
+// HasDurableState reports whether dir holds state from a previous run — a
+// single-store checkpoint or a sharded cluster manifest — i.e. whether
+// OpenDurable would recover instead of bootstrapping. Callers that only
+// mean to reopen existing state (no dataset to seed with) should check this
+// first: bootstrapping a mistyped directory would quietly serve an empty
+// dataset.
+func HasDurableState(dir string) bool {
+	return wal.HasCheckpoint(dir) || shard.HasDurableState(dir)
+}
 
 // RecoveryReport says how OpenDurable brought the store up.
 type RecoveryReport struct {
 	// FromCheckpoint is true when the engine was restored from a checkpoint
-	// instead of bootstrapped with a full mine.
+	// (for sharded stores: every shard restored) instead of bootstrapped
+	// with a full mine.
 	FromCheckpoint bool
 	// RecordsReplayed is the number of log records replayed after the
-	// checkpoint.
+	// checkpoint, summed across shards.
 	RecordsReplayed int
 	// TornTail reports that a torn final log record (crash artifact) was
-	// dropped.
+	// dropped, in any shard.
 	TornTail bool
+	// Shards is the shard count of the recovered store (0 when unsharded).
+	Shards int
+	// PaddedTuples counts tuples re-appended into shard replicas that a
+	// crash mid-append-fanout left behind (data values only; the padded
+	// appends were never acknowledged). Always 0 for unsharded stores.
+	PaddedTuples int
 	// DurationSeconds is the wall time of recovery or bootstrap.
 	DurationSeconds float64
 }
 
+// ShardDurabilityStats is one shard's write-ahead log and checkpoint
+// activity inside DurabilityStats.
+type ShardDurabilityStats struct {
+	// Shard is the shard index.
+	Shard int
+	// RecordsAppended, LogBytes, Syncs, Checkpoints, and CheckpointErrors
+	// mirror the top-level counters for this shard alone.
+	RecordsAppended  uint64
+	LogBytes         int64
+	Syncs            uint64
+	Checkpoints      uint64
+	CheckpointErrors uint64
+}
+
 // DurabilityStats reports write-ahead log and checkpoint activity for a
-// durable server; see Server.Durability.
+// durable server; see Server.Durability. For a sharded server the top-level
+// counters are summed across shards and PerShard carries the breakdown.
 type DurabilityStats struct {
 	// RecordsAppended counts log records written since the store opened;
 	// LogBytes is the current log size (checkpoints truncate it).
@@ -89,21 +123,24 @@ type DurabilityStats struct {
 	LastCheckpointUnixNano int64
 	// Recovery echoes how the store came up.
 	Recovery RecoveryReport
+	// PerShard carries each shard's counters (nil when unsharded).
+	PerShard []ShardDurabilityStats
 }
 
 // OpenDurable opens (or creates) the durable serving store in opts Dir and
 // returns an engine backed by it.
 //
-// When the directory holds a checkpoint, the engine is restored from it and
-// the log tail is replayed — no mining pass, and dataPath is ignored. When
-// the directory is empty, the dataset at dataPath (a Figure 4 file; "" for
-// an empty dataset) is loaded, mined once, and checkpointed immediately so
-// the next open skips the mine.
+// When the directory holds previous state, the engine is restored from its
+// checkpoint(s) and the log tail(s) replayed — no mining pass, and dataPath
+// is ignored. When the directory is empty, the dataset at dataPath (a
+// Figure 4 file; "" for an empty dataset) is loaded, mined once (per shard,
+// when dopts.Shards > 1), and checkpointed immediately so the next open
+// skips the mine.
 //
 // The returned engine must be wrapped in NewServer before any mutation:
-// only the serving writer journals batches to the log. Mutating the Engine
-// or its Dataset directly leaves the durable state behind the in-memory
-// state until the next checkpoint.
+// only the serving writers journal batches to the logs. A sharded engine
+// (dopts.Shards > 1) supports no direct Engine calls at all — every read
+// and write goes through the Server.
 func OpenDurable(dataPath string, opts Options, dopts DurabilityOptions) (*Engine, RecoveryReport, error) {
 	cfg, err := opts.internal()
 	if err != nil {
@@ -118,6 +155,21 @@ func OpenDurable(dataPath string, opts Options, dopts DurabilityOptions) (*Engin
 			return relation.New(), nil
 		}
 		return storage.ReadDatasetFile(dataPath, storage.Options{})
+	}
+	if dopts.Shards > 1 {
+		cluster, err := shard.OpenDurable(shard.DurableOptions{
+			Dir:    dopts.Dir,
+			Shards: dopts.Shards,
+			Wal:    wopts,
+		}, cfg, incrementalOptions(opts), bootstrap)
+		if err != nil {
+			return nil, RecoveryReport{}, err
+		}
+		rec := publicClusterRecovery(cluster.Recovery(), dopts.Shards)
+		return &Engine{cluster: cluster}, rec, nil
+	}
+	if shard.HasDurableState(dopts.Dir) {
+		return nil, RecoveryReport{}, fmt.Errorf("annotadb: %s holds a sharded cluster; reopen it with DurabilityOptions.Shards set to its manifest's count", dopts.Dir)
 	}
 	store, err := wal.Open(wopts, cfg, incrementalOptions(opts), bootstrap)
 	if err != nil {
@@ -141,10 +193,45 @@ func publicRecovery(r wal.Recovery) RecoveryReport {
 	}
 }
 
+func publicClusterRecovery(r shard.Recovery, shards int) RecoveryReport {
+	return RecoveryReport{
+		FromCheckpoint:  r.FromCheckpoint,
+		RecordsReplayed: r.Records,
+		TornTail:        r.TornTail,
+		Shards:          shards,
+		PaddedTuples:    r.PaddedTuples,
+		DurationSeconds: r.Duration.Seconds(),
+	}
+}
+
 // Durability returns write-ahead log and checkpoint statistics, or nil for
 // a purely in-memory server (one whose engine did not come from
 // OpenDurable).
 func (s *Server) Durability() *DurabilityStats {
+	if s.cluster != nil {
+		out := &DurabilityStats{
+			Recovery: publicClusterRecovery(s.cluster.Recovery(), len(s.cluster.Stores())),
+		}
+		for i, st := range s.cluster.Stats() {
+			out.RecordsAppended += st.Records
+			out.LogBytes += st.LogBytes
+			out.Syncs += st.Syncs
+			out.Checkpoints += st.Checkpoints
+			out.CheckpointErrors += st.CheckpointErrors
+			if st.LastCheckpointUnixNano > out.LastCheckpointUnixNano {
+				out.LastCheckpointUnixNano = st.LastCheckpointUnixNano
+			}
+			out.PerShard = append(out.PerShard, ShardDurabilityStats{
+				Shard:            i,
+				RecordsAppended:  st.Records,
+				LogBytes:         st.LogBytes,
+				Syncs:            st.Syncs,
+				Checkpoints:      st.Checkpoints,
+				CheckpointErrors: st.CheckpointErrors,
+			})
+		}
+		return out
+	}
 	if s.store == nil {
 		return nil
 	}

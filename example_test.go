@@ -82,7 +82,10 @@ func ExampleNewServer() {
 	if err != nil {
 		panic(err)
 	}
-	srv := annotadb.NewServer(eng, annotadb.ServeOptions{})
+	srv, err := annotadb.NewServer(eng, annotadb.ServeOptions{})
+	if err != nil {
+		panic(err)
+	}
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

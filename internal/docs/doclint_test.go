@@ -30,6 +30,7 @@ var lintedPackages = []string{
 	"internal/relation",
 	"internal/rules",
 	"internal/serve",
+	"internal/shard",
 	"internal/storage",
 	"internal/wal",
 	"internal/workload",

@@ -9,6 +9,7 @@ import (
 )
 
 func TestItemTagging(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		name    string
 		item    Item
@@ -45,6 +46,7 @@ func TestItemTagging(t *testing.T) {
 }
 
 func TestItemConstructorsPanicOnBadID(t *testing.T) {
+	t.Parallel()
 	for _, id := range []int{0, -1, MaxID + 1} {
 		for name, f := range map[string]func(int) Item{
 			"DataItem": DataItem, "AnnotationItem": AnnotationItem, "DerivedItem": DerivedItem,
@@ -62,6 +64,7 @@ func TestItemConstructorsPanicOnBadID(t *testing.T) {
 }
 
 func TestNoneIsInvalid(t *testing.T) {
+	t.Parallel()
 	if None.Valid() {
 		t.Error("None.Valid() = true, want false")
 	}
@@ -71,6 +74,7 @@ func TestNoneIsInvalid(t *testing.T) {
 }
 
 func TestItemOrderingDataBeforeAnnotations(t *testing.T) {
+	t.Parallel()
 	d := DataItem(MaxID) // largest possible data item
 	a := AnnotationItem(1)
 	g := DerivedItem(1)
@@ -83,6 +87,7 @@ func TestItemOrderingDataBeforeAnnotations(t *testing.T) {
 }
 
 func TestNewCanonicalizes(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		name string
 		in   []Item
@@ -112,6 +117,7 @@ func TestNewCanonicalizes(t *testing.T) {
 }
 
 func TestContains(t *testing.T) {
+	t.Parallel()
 	s := New(DataItem(2), DataItem(5), AnnotationItem(1))
 	for _, it := range s {
 		if !s.Contains(it) {
@@ -129,6 +135,7 @@ func TestContains(t *testing.T) {
 }
 
 func TestContainsAll(t *testing.T) {
+	t.Parallel()
 	s := New(DataItem(1), DataItem(3), DataItem(5), AnnotationItem(2))
 	tests := []struct {
 		sub  Itemset
@@ -154,6 +161,7 @@ func TestContainsAll(t *testing.T) {
 }
 
 func TestSetAlgebra(t *testing.T) {
+	t.Parallel()
 	a := New(DataItem(1), DataItem(2), DataItem(3))
 	b := New(DataItem(2), DataItem(3), DataItem(4))
 	if got, want := a.Union(b), New(DataItem(1), DataItem(2), DataItem(3), DataItem(4)); !got.Equal(want) {
@@ -180,6 +188,7 @@ func TestSetAlgebra(t *testing.T) {
 }
 
 func TestAddRemove(t *testing.T) {
+	t.Parallel()
 	s := New(DataItem(2), DataItem(4))
 	added := s.Add(DataItem(3))
 	if want := New(DataItem(2), DataItem(3), DataItem(4)); !added.Equal(want) {
@@ -205,6 +214,7 @@ func TestAddRemove(t *testing.T) {
 }
 
 func TestWithoutIndex(t *testing.T) {
+	t.Parallel()
 	s := New(DataItem(1), DataItem(2), DataItem(3))
 	for i := 0; i < s.Len(); i++ {
 		got := s.WithoutIndex(i)
@@ -218,6 +228,7 @@ func TestWithoutIndex(t *testing.T) {
 }
 
 func TestSplitAndAnnotationQueries(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		name       string
 		set        Itemset
@@ -259,6 +270,7 @@ func TestSplitAndAnnotationQueries(t *testing.T) {
 }
 
 func TestKeyRoundTrip(t *testing.T) {
+	t.Parallel()
 	sets := []Itemset{
 		nil,
 		New(DataItem(1)),
@@ -287,6 +299,7 @@ func TestKeyRoundTrip(t *testing.T) {
 }
 
 func TestKeyDecodeErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := Key("abc").Decode(); err == nil {
 		t.Error("Decode of odd-length key succeeded, want error")
 	}
@@ -298,6 +311,7 @@ func TestKeyDecodeErrors(t *testing.T) {
 }
 
 func TestCompare(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		a, b Itemset
 		want int
@@ -319,6 +333,7 @@ func TestCompare(t *testing.T) {
 }
 
 func TestPrefixJoin(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		name string
 		a, b Itemset
@@ -364,6 +379,7 @@ func TestPrefixJoin(t *testing.T) {
 }
 
 func TestSubsets(t *testing.T) {
+	t.Parallel()
 	s := New(DataItem(1), DataItem(2), DataItem(3), DataItem(4))
 	var got []Itemset
 	s.Subsets(2, func(sub Itemset) bool {
@@ -388,6 +404,7 @@ func TestSubsets(t *testing.T) {
 }
 
 func TestSubsetsEdgeCases(t *testing.T) {
+	t.Parallel()
 	s := New(DataItem(1), DataItem(2))
 	count := 0
 	s.Subsets(0, func(sub Itemset) bool { count++; return sub.Empty() })
@@ -413,6 +430,7 @@ func TestSubsetsEdgeCases(t *testing.T) {
 }
 
 func TestAllSubsets(t *testing.T) {
+	t.Parallel()
 	s := New(DataItem(1), DataItem(2), DataItem(3))
 	count := 0
 	s.AllSubsets(func(sub Itemset) bool {
@@ -434,6 +452,7 @@ func TestAllSubsets(t *testing.T) {
 }
 
 func TestBinomial(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		n, k int
 		want int64
@@ -467,6 +486,7 @@ func randomSet(r *rand.Rand, maxLen, domain int) Itemset {
 }
 
 func TestPropertyUnionCommutativeAssociative(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(1))
 	f := func() bool {
 		a, b, c := randomSet(r, 8, 20), randomSet(r, 8, 20), randomSet(r, 8, 20)
@@ -481,6 +501,7 @@ func TestPropertyUnionCommutativeAssociative(t *testing.T) {
 }
 
 func TestPropertySubtractIntersectPartition(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(2))
 	f := func() bool {
 		a, b := randomSet(r, 10, 15), randomSet(r, 10, 15)
@@ -497,6 +518,7 @@ func TestPropertySubtractIntersectPartition(t *testing.T) {
 }
 
 func TestPropertyKeyInjective(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(3))
 	f := func() bool {
 		a, b := randomSet(r, 10, 25), randomSet(r, 10, 25)
@@ -511,6 +533,7 @@ func TestPropertyKeyInjective(t *testing.T) {
 }
 
 func TestPropertySubsetEnumerationComplete(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(4))
 	f := func() bool {
 		s := randomSet(r, 7, 30)
@@ -532,6 +555,7 @@ func TestPropertySubsetEnumerationComplete(t *testing.T) {
 }
 
 func TestPropertyHashEqualSetsEqualHash(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(5))
 	f := func() bool {
 		s := randomSet(r, 10, 25)
@@ -547,6 +571,7 @@ func TestPropertyHashEqualSetsEqualHash(t *testing.T) {
 }
 
 func TestPropertyPrefixJoinProducesValidCandidates(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(7))
 	f := func() bool {
 		s := randomSet(r, 6, 12)
@@ -582,6 +607,7 @@ func TestPropertyPrefixJoinProducesValidCandidates(t *testing.T) {
 }
 
 func TestFilter(t *testing.T) {
+	t.Parallel()
 	s := New(DataItem(1), DataItem(2), AnnotationItem(1), DerivedItem(3))
 	annots := s.Filter(Item.IsAnnotation)
 	if want := New(AnnotationItem(1), DerivedItem(3)); !annots.Equal(want) {
@@ -594,6 +620,7 @@ func TestFilter(t *testing.T) {
 }
 
 func TestStringForms(t *testing.T) {
+	t.Parallel()
 	s := New(DataItem(3), AnnotationItem(2), DerivedItem(1))
 	if got, want := s.String(), "{d3 a2 g1}"; got != want {
 		t.Errorf("String = %q, want %q", got, want)
@@ -607,6 +634,7 @@ func TestStringForms(t *testing.T) {
 }
 
 func TestCloneIndependence(t *testing.T) {
+	t.Parallel()
 	s := New(DataItem(1), DataItem(2))
 	c := s.Clone()
 	c[0] = DataItem(99)
@@ -619,6 +647,7 @@ func TestCloneIndependence(t *testing.T) {
 }
 
 func TestFromSortedTrustsCaller(t *testing.T) {
+	t.Parallel()
 	raw := []Item{DataItem(1), DataItem(5), AnnotationItem(2)}
 	s := FromSorted(raw)
 	if !s.Wellformed() {
@@ -630,6 +659,7 @@ func TestFromSortedTrustsCaller(t *testing.T) {
 }
 
 func TestWellformedDetectsViolations(t *testing.T) {
+	t.Parallel()
 	bad := Itemset{DataItem(5), DataItem(1)}
 	if bad.Wellformed() {
 		t.Error("unsorted set reported wellformed")
@@ -641,6 +671,7 @@ func TestWellformedDetectsViolations(t *testing.T) {
 }
 
 func TestSubsetsMatchesSortPackageExpectations(t *testing.T) {
+	t.Parallel()
 	// Cross-check the combination walk against an independent filter-based
 	// enumeration on a small universe.
 	s := New(DataItem(1), DataItem(2), DataItem(3), DataItem(4), DataItem(5))

@@ -29,6 +29,7 @@ func viewFixture(t testing.TB, n int) *Relation {
 }
 
 func TestViewIsImmutableUnderMutation(t *testing.T) {
+	t.Parallel()
 	r := viewFixture(t, 2*chunkSize+17)
 	dict := r.Dictionary()
 	a := MustAnnotation(dict, "Annot_A")
@@ -103,6 +104,7 @@ func TestViewIsImmutableUnderMutation(t *testing.T) {
 }
 
 func TestViewIsMemoizedBetweenMutations(t *testing.T) {
+	t.Parallel()
 	r := viewFixture(t, 10)
 	v1 := r.View()
 	if v2 := r.View(); v1 != v2 {
@@ -118,6 +120,7 @@ func TestViewIsMemoizedBetweenMutations(t *testing.T) {
 // copies only the touched chunk; every other chunk is shared by address
 // between consecutive generations.
 func TestViewStructuralSharing(t *testing.T) {
+	t.Parallel()
 	r := viewFixture(t, 4*chunkSize)
 	dict := r.Dictionary()
 	b := MustAnnotation(dict, "Annot_B")
@@ -143,6 +146,7 @@ func TestViewStructuralSharing(t *testing.T) {
 }
 
 func TestViewAgainstLiveRelationReads(t *testing.T) {
+	t.Parallel()
 	r := viewFixture(t, 3*chunkSize+5)
 	v := r.View()
 	if v.Len() != r.Len() {
@@ -183,6 +187,7 @@ func TestViewAgainstLiveRelationReads(t *testing.T) {
 // hammering writer under -race: a data race here means a view shares memory
 // the relation still writes.
 func TestViewConcurrentReadersUnderWriter(t *testing.T) {
+	t.Parallel()
 	r := viewFixture(t, 2*chunkSize)
 	dict := r.Dictionary()
 	b := MustAnnotation(dict, "Annot_B")
@@ -229,6 +234,7 @@ func TestViewConcurrentReadersUnderWriter(t *testing.T) {
 }
 
 func TestCloneViaViewIsDeepAndVersionPreserving(t *testing.T) {
+	t.Parallel()
 	r := viewFixture(t, chunkSize+3)
 	dict := r.Dictionary()
 	b := MustAnnotation(dict, "Annot_B")

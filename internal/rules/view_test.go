@@ -17,6 +17,7 @@ func viewRule(dataID, annotID, pat, lhs, n int) Rule {
 }
 
 func TestFreezeEmpty(t *testing.T) {
+	t.Parallel()
 	if got := (*Set)(nil).Freeze(); got != EmptyView() {
 		t.Fatalf("Freeze(nil) = %v, want the canonical empty view", got)
 	}
@@ -30,6 +31,7 @@ func TestFreezeEmpty(t *testing.T) {
 }
 
 func TestFreezeIsImmutableSnapshot(t *testing.T) {
+	t.Parallel()
 	s := NewSet()
 	r1 := viewRule(1, 1, 3, 4, 10)
 	r2 := viewRule(2, 1, 5, 5, 10)
@@ -59,6 +61,7 @@ func TestFreezeIsImmutableSnapshot(t *testing.T) {
 }
 
 func TestViewSortedMatchesSet(t *testing.T) {
+	t.Parallel()
 	s := NewSet()
 	for i := 5; i >= 1; i-- {
 		s.Add(viewRule(i, 1, i, i+1, 10))
@@ -77,6 +80,7 @@ func TestViewSortedMatchesSet(t *testing.T) {
 }
 
 func TestViewThawIndependent(t *testing.T) {
+	t.Parallel()
 	s := NewSet()
 	r := viewRule(1, 2, 4, 5, 10)
 	s.Add(r)
@@ -92,6 +96,7 @@ func TestViewThawIndependent(t *testing.T) {
 }
 
 func TestViewEachRuleOrderAndStop(t *testing.T) {
+	t.Parallel()
 	s := NewSet()
 	for i := 1; i <= 4; i++ {
 		s.Add(viewRule(i, 1, i, i+1, 10))

@@ -26,6 +26,7 @@ func readTestdata(t *testing.T, name string) []byte {
 }
 
 func TestGoldenDatasetRoundTrip(t *testing.T) {
+	t.Parallel()
 	input := readTestdata(t, "figure4_input.txt")
 	golden := readTestdata(t, "figure4_golden.txt")
 
@@ -66,6 +67,7 @@ func TestGoldenDatasetRoundTrip(t *testing.T) {
 }
 
 func TestGoldenDatasetFileRoundTrip(t *testing.T) {
+	t.Parallel()
 	input := readTestdata(t, "figure4_input.txt")
 	golden := readTestdata(t, "figure4_golden.txt")
 
@@ -94,6 +96,7 @@ func TestGoldenDatasetFileRoundTrip(t *testing.T) {
 }
 
 func TestGoldenUpdateBatchRoundTrip(t *testing.T) {
+	t.Parallel()
 	input := readTestdata(t, "figure14_input.txt")
 	golden := readTestdata(t, "figure14_golden.txt")
 
@@ -138,6 +141,7 @@ func TestGoldenUpdateBatchRoundTrip(t *testing.T) {
 }
 
 func TestDatasetBlankAndCommentOnlyInputs(t *testing.T) {
+	t.Parallel()
 	for _, tc := range []struct {
 		name  string
 		input string
@@ -160,6 +164,7 @@ func TestDatasetBlankAndCommentOnlyInputs(t *testing.T) {
 }
 
 func TestUpdateBatchBlankAndCommentEdges(t *testing.T) {
+	t.Parallel()
 	lines, err := ReadUpdateBatch(strings.NewReader("\n# only comments\n\n"), Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -180,6 +185,7 @@ func TestUpdateBatchBlankAndCommentEdges(t *testing.T) {
 }
 
 func TestDatasetAnnotationOnlyLine(t *testing.T) {
+	t.Parallel()
 	in := "28 85\nAnnot_1 Annot_2\n"
 	if _, err := ReadDataset(strings.NewReader(in), Options{}); err == nil {
 		t.Error("annotation-only line accepted without AllowEmptyTuples")

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"unicode"
 
 	"annotadb/internal/itemset"
 	"annotadb/internal/relation"
@@ -288,6 +289,13 @@ func readUpdateBatch(r io.Reader, opts Options, path string) ([]UpdateLine, erro
 		}
 		if !strings.HasPrefix(tok, prefix) {
 			return nil, &ParseError{Path: path, Line: lineNo, Msg: fmt.Sprintf("annotation %q lacks prefix %q", tok, prefix)}
+		}
+		// Interior whitespace cannot survive the whitespace-separated
+		// dataset format (Figure 4), so a token carrying it would be
+		// accepted here and then corrupt the dataset round-trip. Found by
+		// FuzzParseAnnotations.
+		if strings.IndexFunc(tok, unicode.IsSpace) >= 0 {
+			return nil, &ParseError{Path: path, Line: lineNo, Msg: fmt.Sprintf("annotation %q contains whitespace", tok)}
 		}
 		out = append(out, UpdateLine{Index: idx - 1, Token: tok})
 	}

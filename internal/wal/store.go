@@ -35,14 +35,18 @@ func HasCheckpoint(dir string) bool {
 // running config against state tracked under the old one), so Open refuses
 // the mismatch. Algorithm choice, parallelism, and counting strategy are
 // excluded: they change how the state is computed, never what it is.
-func configFingerprint(cfg mining.Config, eopts incremental.Options) string {
+func configFingerprint(cfg mining.Config, eopts incremental.Options, tag string) string {
 	slack := cfg.CandidateSlack
 	if eopts.DisableCandidateStore {
 		slack = 1.0
 	}
-	return fmt.Sprintf("v1 support=%g confidence=%g slack=%g maxlen=%d excludeDerived=%t dataRules=%t annotRules=%t",
+	fp := fmt.Sprintf("v1 support=%g confidence=%g slack=%g maxlen=%d excludeDerived=%t dataRules=%t annotRules=%t",
 		cfg.MinSupport, cfg.MinConfidence, slack, cfg.MaxLen,
 		cfg.ExcludeDerived, cfg.MineDataRules, cfg.MineAnnotRules)
+	if tag != "" {
+		fp += " tag=" + tag
+	}
+	return fp
 }
 
 // Recovery summarizes what Open found and did.
@@ -149,7 +153,7 @@ func Open(opts Options, cfg mining.Config, eopts incremental.Options, bootstrap 
 	ck, err := storage.ReadCheckpointFile(CheckpointPath(opts.Dir))
 	switch {
 	case err == nil:
-		if want, got := configFingerprint(cfg, eopts), ck.ConfigFingerprint; got != want {
+		if want, got := configFingerprint(cfg, eopts, opts.Tag), ck.ConfigFingerprint; got != want {
 			return nil, fmt.Errorf("wal: %s was written under a different mining configuration\n  checkpoint: %s\n  running:    %s\nrestart with matching flags, or remove the directory to re-mine under the new ones",
 				opts.Dir, got, want)
 		}
@@ -265,6 +269,13 @@ func Open(opts Options, cfg mining.Config, eopts incremental.Options, bootstrap 
 // HasPendingRecords reports whether the log holds records not yet covered
 // by a checkpoint. Belongs to the single writer, like the mutating methods.
 func (s *Store) HasPendingRecords() bool { return s.log.Size() > logHeaderSize }
+
+// Epoch returns the checkpoint generation the log currently extends. It
+// advances with every installed checkpoint; a sharded deployment records
+// the per-shard epoch vector in its manifest so a shard directory restored
+// from an older backup is detected at open instead of silently serving a
+// rolled-back generation.
+func (s *Store) Epoch() uint64 { return s.log.Epoch() }
 
 // Engine returns the recovered (or freshly bootstrapped) engine. The serving
 // layer takes ownership of it via serve.New.
@@ -410,7 +421,7 @@ func (s *Store) capture() *storage.Checkpoint {
 	return &storage.Checkpoint{
 		Epoch:             s.log.Epoch() + 1,
 		CoveredBytes:      uint64(s.log.Size()),
-		ConfigFingerprint: configFingerprint(s.cfg, s.eopts),
+		ConfigFingerprint: configFingerprint(s.cfg, s.eopts, s.opts.Tag),
 		Relation:          st.Relation,
 		Valid:             st.Valid,
 		Candidates:        st.Candidates,

@@ -102,6 +102,13 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 type Options struct {
 	// Dir is the data directory. Created if absent. Required.
 	Dir string
+	// Tag, when non-empty, is folded into the checkpoint's configuration
+	// fingerprint. A store whose identity goes beyond the mining
+	// configuration — a shard, say, which is only valid as shard i of n
+	// under one family scheme — sets a Tag so that a directory restored
+	// into the wrong slot is refused at Open instead of silently serving
+	// another shard's state.
+	Tag string
 	// Sync says when appended records are fsynced.
 	Sync SyncPolicy
 	// SyncEvery is the fsync cadence under SyncInterval (0 means

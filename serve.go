@@ -7,9 +7,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"annotadb/internal/incremental"
 	"annotadb/internal/itemset"
+	"annotadb/internal/mining"
 	"annotadb/internal/relation"
+	"annotadb/internal/rules"
 	"annotadb/internal/serve"
+	"annotadb/internal/shard"
 	"annotadb/internal/storage"
 	"annotadb/internal/wal"
 )
@@ -25,8 +29,8 @@ var ErrServerClosed = serve.ErrClosed
 // a request defect, and the client may retry.
 var ErrJournal = serve.ErrJournal
 
-// ServeOptions configure a Server's write coalescing and recommendation
-// filtering.
+// ServeOptions configure a Server's write coalescing, recommendation
+// filtering, and sharding.
 type ServeOptions struct {
 	// BatchWindow is how long the writer lingers after the first pending
 	// update to coalesce concurrent updates into one maintenance pass.
@@ -39,24 +43,41 @@ type ServeOptions struct {
 	QueueDepth int
 	// Recommend filters the rules used to answer recommendation reads.
 	Recommend RecommendOptions
+	// Shards partitions the serving state by annotation family into this
+	// many independent write paths (relation replica + engine + writer loop
+	// per shard), so annotation batches for different families commit in
+	// parallel. 0 or 1 serves unsharded. The family of an annotation token
+	// is its prefix before the first ":" (or the whole token); see the
+	// sharding section of ARCHITECTURE.md for the placement contract —
+	// annotation-to-annotation correlations are discovered within a family.
+	Shards int
 }
 
 // Server serves rules and recommendations concurrently while annotations
-// and tuples stream in. Reads (Rules, Recommend*, Stats) work against an
-// atomically published immutable snapshot and never block behind writes;
-// writes are coalesced by a single writer goroutine and acknowledged after
-// the batch they rode in is applied and a fresh snapshot is published.
+// and tuples stream in. Reads (Rules, Recommend*, Stats) work against
+// atomically published immutable snapshots and never block behind writes;
+// writes are coalesced by single writer loops (one per shard) and
+// acknowledged after the batch they rode in is applied and fresh snapshots
+// are published.
 //
 // NewServer takes ownership of the engine and its dataset: route every
 // mutation through the Server and treat direct Engine/Dataset calls as
 // read-only (their results may trail the serving snapshot by one batch).
+// A sharded Server (ServeOptions.Shards > 1, or an engine opened with
+// DurabilityOptions.Shards > 1) serves the merged view of its per-shard
+// state; Dataset returns nil for it.
 type Server struct {
 	ds   *Dataset
-	core *serve.Server
+	core *serve.Server // unsharded serving core; nil when sharded
+	// router fans writes out by annotation family and merges reads; nil
+	// when unsharded.
+	router *shard.Router
 	// store is the durable backing store (nil for in-memory servers): the
 	// serving writer journals every batch to it, and Close checkpoints and
 	// closes it. storeClosed makes that final step run exactly once.
-	store       *wal.Store
+	store *wal.Store
+	// cluster is the sharded durable backing store (nil otherwise).
+	cluster     *shard.Cluster
 	storeClosed atomic.Bool
 
 	// rendered memoizes the token-rendered rules of one snapshot, so that
@@ -65,22 +86,61 @@ type Server struct {
 	rendered atomic.Pointer[renderedRules]
 }
 
-// renderedRules caches the public rules of the snapshot with sequence seq.
+// renderedRules caches the public rules of one snapshot generation: the
+// scalar sequence for an unsharded server, the full per-shard sequence
+// vector for a sharded one. The vector itself is the cache key — two
+// concurrent readers can assemble different vectors with equal sums (the
+// per-shard loads are not one atomic cut), so the sum alone would collide.
 type renderedRules struct {
 	seq   uint64
+	seqs  []uint64 // nil for unsharded
 	rules []Rule
 }
 
-// NewServer wraps an engine in a serving core and starts its writer loop.
-// An engine from OpenDurable brings its durable store along: the writer
-// journals every batch to the write-ahead log before applying it.
-func NewServer(e *Engine, opts ServeOptions) *Server {
-	cfg := serve.Config{
-		BatchWindow: opts.BatchWindow,
-		MaxBatch:    opts.MaxBatch,
-		QueueDepth:  opts.QueueDepth,
-		Recommend:   opts.Recommend.internal(),
+func (c *renderedRules) matches(seqs []uint64) bool {
+	if len(c.seqs) != len(seqs) {
+		return false
 	}
+	for i := range seqs {
+		if c.seqs[i] != seqs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NewServer wraps an engine in a serving core and starts its writer loops.
+// An engine from OpenDurable brings its durable store along: the writer
+// journals every batch to the write-ahead log before applying it. With
+// ServeOptions.Shards > 1 on an in-memory engine, the engine's dataset is
+// partitioned by annotation family and each shard is mined and served
+// independently (the engine itself is then no longer connected to the
+// served state — route everything through the Server).
+func NewServer(e *Engine, opts ServeOptions) (*Server, error) {
+	if e.cluster != nil {
+		if opts.Shards > 0 && opts.Shards != len(e.cluster.Stores()) {
+			return nil, fmt.Errorf("annotadb: ServeOptions.Shards = %d but the durable cluster holds %d shards", opts.Shards, len(e.cluster.Stores()))
+		}
+		router, err := shard.FromEngines(e.cluster.Engines(), shard.Config{
+			Shards:   len(e.cluster.Stores()),
+			Serve:    opts.internal(),
+			Journals: e.cluster.Journals(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Server{router: router, cluster: e.cluster}, nil
+	}
+	if opts.Shards > 1 {
+		if e.store != nil {
+			// Serving a durable unsharded engine through in-memory shards
+			// would acknowledge writes that never reach its WAL — silent
+			// data loss at the next open.
+			return nil, fmt.Errorf("annotadb: ServeOptions.Shards = %d but the engine's durable store is unsharded; reopen with DurabilityOptions.Shards instead", opts.Shards)
+		}
+		return newShardedInMemory(e.ds, e.eng.Config(), opts)
+	}
+	cfg := opts.internal()
 	if e.store != nil {
 		cfg.Journal = e.store
 	}
@@ -88,15 +148,78 @@ func NewServer(e *Engine, opts ServeOptions) *Server {
 		ds:    e.ds,
 		core:  serve.New(e.eng, cfg),
 		store: e.store,
+	}, nil
+}
+
+// NewShardedServer partitions the dataset by annotation family into
+// opts.Shards independent shards, mines each projection in parallel, and
+// serves the merged view. It is the in-memory sharded entry point that
+// skips the full unsharded bootstrap mine NewEngine would pay; the durable
+// equivalent is OpenDurable with DurabilityOptions.Shards.
+func NewShardedServer(d *Dataset, opts Options, sopts ServeOptions) (*Server, error) {
+	cfg, err := opts.internal()
+	if err != nil {
+		return nil, err
+	}
+	return newShardedInMemory(d, cfg, sopts)
+}
+
+func newShardedInMemory(d *Dataset, cfg mining.Config, sopts ServeOptions) (*Server, error) {
+	eopts := incremental.Options{DisableCandidateStore: cfg.CandidateSlack >= 1}
+	router, err := shard.NewRouter(d.rel, func(rel *relation.Relation) (*incremental.Engine, error) {
+		return incremental.New(rel, cfg, eopts)
+	}, shard.Config{
+		Shards: sopts.Shards,
+		Serve:  sopts.internal(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{router: router}, nil
+}
+
+func (o ServeOptions) internal() serve.Config {
+	return serve.Config{
+		BatchWindow: o.BatchWindow,
+		MaxBatch:    o.MaxBatch,
+		QueueDepth:  o.QueueDepth,
+		Recommend:   o.Recommend.internal(),
 	}
 }
 
-// Close drains queued updates and stops the writer loop, waiting up to ctx.
-// A durable server then writes a final checkpoint (so the next open replays
-// nothing; skipped when the log is already empty) and closes its store.
+// Sharded reports whether the server fans writes out over family shards.
+func (s *Server) Sharded() bool { return s.router != nil }
+
+// Shards returns the shard count: 1 for an unsharded server.
+func (s *Server) Shards() int {
+	if s.router == nil {
+		return 1
+	}
+	return s.router.Shards()
+}
+
+// Close drains queued updates and stops the writer loops, waiting up to ctx.
+// A durable server then writes final checkpoints (so the next open replays
+// nothing; skipped when the logs are already empty) and closes its store.
 // Reads remain valid (and final) after Close; writes fail with an error.
 // Close is idempotent: later calls return nil once the first completed.
 func (s *Server) Close(ctx context.Context) error {
+	if s.router != nil {
+		err := s.router.Close(ctx)
+		if s.cluster == nil || err != nil {
+			return err
+		}
+		if !s.storeClosed.CompareAndSwap(false, true) {
+			return nil
+		}
+		if ckErr := s.cluster.Checkpoint(); ckErr != nil {
+			err = ckErr
+		}
+		if closeErr := s.cluster.Close(); closeErr != nil && err == nil {
+			err = closeErr
+		}
+		return err
+	}
 	err := s.core.Close(ctx)
 	if s.store == nil || err != nil {
 		// On a drain timeout the writer may still be running; leave the
@@ -118,14 +241,55 @@ func (s *Server) Close(ctx context.Context) error {
 	return err
 }
 
-// Dataset returns the served dataset (treat as read-only).
+// Dataset returns the served dataset (treat as read-only), or nil for a
+// sharded server: its state lives in per-shard replicas with no merged
+// live relation.
 func (s *Server) Dataset() *Dataset { return s.ds }
 
+// publicShardRule converts a token-form shard rule to the public type.
+func publicShardRule(r shard.Rule) Rule {
+	kind := DataToAnnotation
+	if r.Kind == rules.AnnotationToAnnotation {
+		kind = AnnotationToAnnotation
+	}
+	return Rule{
+		LHS:          r.LHS,
+		RHS:          r.RHS,
+		Kind:         kind,
+		Support:      r.Support(),
+		Confidence:   r.Confidence(),
+		PatternCount: r.PatternCount,
+		LHSCount:     r.LHSCount,
+		N:            r.N,
+	}
+}
+
 // Rules returns the current snapshot's valid rules, deterministically
-// ordered, without taking the maintenance engine's lock. The slice is
-// rendered once per snapshot and shared between callers; treat it as
-// read-only.
+// ordered, without taking any maintenance engine's lock. For a sharded
+// server the result is the merged (disjoint) union of the per-shard rule
+// views at one sequence vector. The slice is rendered once per snapshot and
+// shared between callers; treat it as read-only.
 func (s *Server) Rules() []Rule {
+	if s.router != nil {
+		// Load the vector first and only render on a cache miss: rendering
+		// walks and re-sorts every shard's rules, which is the whole cost
+		// the memo exists to avoid.
+		snaps := s.router.Snapshots()
+		seqs := shard.Seqs(snaps)
+		if c := s.rendered.Load(); c != nil && c.matches(seqs) {
+			return c.rules
+		}
+		shardRules := shard.MergedRules(snaps)
+		out := make([]Rule, len(shardRules))
+		for i, r := range shardRules {
+			out[i] = publicShardRule(r)
+		}
+		// Vectors are only partially ordered across concurrent readers, so
+		// there is no "newer" to protect: last render wins, and any cached
+		// entry is internally consistent with its own vector.
+		s.rendered.Store(&renderedRules{seqs: seqs, rules: out})
+		return out
+	}
 	snap := s.core.Snapshot()
 	if c := s.rendered.Load(); c != nil && c.seq == snap.Seq {
 		return c.rules
@@ -136,20 +300,51 @@ func (s *Server) Rules() []Rule {
 	for i, r := range sorted {
 		out[i] = publicRule(r, dict)
 	}
-	// Racing renders of the same snapshot produce identical slices; the
-	// CAS loop guarantees a newer snapshot's cache is never replaced by an
-	// older render.
-	fresh := &renderedRules{seq: snap.Seq, rules: out}
+	s.cacheRendered(snap.Seq, out)
+	return out
+}
+
+// cacheRendered publishes a rendered rule slice under its scalar snapshot
+// key (unsharded path). Racing renders of the same snapshot produce
+// identical slices; the CAS loop guarantees a newer snapshot's cache is
+// never replaced by an older render (keys are strictly increasing across
+// publishes).
+func (s *Server) cacheRendered(key uint64, rules []Rule) {
+	fresh := &renderedRules{seq: key, rules: rules}
 	for {
 		c := s.rendered.Load()
-		if c != nil && c.seq >= snap.Seq {
-			break
+		if c != nil && c.seq >= key {
+			return
 		}
 		if s.rendered.CompareAndSwap(c, fresh) {
-			break
+			return
 		}
 	}
-	return out
+}
+
+// seqSum folds a per-shard sequence vector into an informational scalar.
+// Each component is non-decreasing, so the sum is too — but concurrent
+// readers can assemble different vectors with equal sums (the per-shard
+// loads are not one atomic cut), so the sum is a staleness indicator, not
+// a unique generation id; ReadSeq.Shards is authoritative.
+func seqSum(seqs []uint64) uint64 {
+	var sum uint64
+	for _, s := range seqs {
+		sum += s
+	}
+	return sum
+}
+
+// ReadSeq identifies the snapshot generation a read was answered from.
+type ReadSeq struct {
+	// Seq is the scalar form: the snapshot sequence for an unsharded server
+	// (a unique, strictly increasing generation id), or the sum of the
+	// per-shard sequence vector for a sharded one — a staleness indicator
+	// only, since concurrent readers can observe different vectors with
+	// equal sums; Shards is the authoritative generation identity there.
+	Seq uint64
+	// Shards is the per-shard sequence vector; nil for unsharded servers.
+	Shards []uint64
 }
 
 // Recommend evaluates the snapshot's rules against the tuple at zero-based
@@ -158,21 +353,55 @@ func (s *Server) Rules() []Rule {
 // the answer is snapshot-consistent: a tuple annotated after the snapshot
 // was published is scored exactly as the snapshot's rules knew it. A tuple
 // appended after the last publish reports ErrTupleIndex until the next
-// batch publishes.
+// batch publishes. See RecommendAt for the per-shard sequence vector of a
+// sharded server.
 func (s *Server) Recommend(idx int) ([]Recommendation, uint64, error) {
+	recs, seq, err := s.RecommendAt(idx)
+	return recs, seq.Seq, err
+}
+
+// RecommendAt behaves like Recommend but reports the full generation
+// identity: on a sharded server each shard's rules are evaluated against
+// that shard's own snapshot view of the tuple (per-shard consistency) and
+// the vector says exactly which per-shard generations answered.
+func (s *Server) RecommendAt(idx int) ([]Recommendation, ReadSeq, error) {
+	if s.router != nil {
+		recs, seqs, err := s.router.Recommend(idx)
+		rs := ReadSeq{Seq: seqSum(seqs), Shards: seqs}
+		if err != nil {
+			return nil, rs, err
+		}
+		return publicShardRecommendations(recs), rs, nil
+	}
 	recs, seq, err := s.core.Recommend(idx)
 	if err != nil {
-		return nil, seq, err
+		return nil, ReadSeq{Seq: seq}, err
 	}
-	return publicRecommendations(recs, s.ds.rel.Dictionary()), seq, nil
+	return publicRecommendations(recs, s.ds.rel.Dictionary()), ReadSeq{Seq: seq}, nil
+}
+
+func publicShardRecommendations(recs []shard.Recommendation) []Recommendation {
+	out := make([]Recommendation, len(recs))
+	for i, r := range recs {
+		out[i] = Recommendation{
+			Tuple:      r.Tuple,
+			Annotation: r.Annotation,
+			Rule:       publicShardRule(r.Rule),
+		}
+	}
+	return out
 }
 
 // RecommendForTuple evaluates a not-yet-inserted tuple against the
 // snapshot's rules (the paper's insert-trigger exploitation). As a pure
-// read it never grows the dictionary: tokens the dataset has never seen
+// read it never grows any dictionary: tokens the dataset has never seen
 // are ignored, which cannot change the outcome — an unknown token cannot
 // appear in any rule's LHS or RHS.
 func (s *Server) RecommendForTuple(spec TupleSpec) ([]Recommendation, error) {
+	if s.router != nil {
+		recs := s.router.RecommendIncoming(shard.TupleSpec{Values: spec.Values, Annotations: spec.Annotations})
+		return publicShardRecommendations(recs), nil
+	}
 	dict := s.ds.rel.Dictionary()
 	items := make([]itemset.Item, 0, len(spec.Values)+len(spec.Annotations))
 	for _, tok := range spec.Values {
@@ -191,12 +420,21 @@ func (s *Server) RecommendForTuple(spec TupleSpec) ([]Recommendation, error) {
 
 // AddAnnotations submits a Case 3 batch and waits until it is applied and
 // visible in the snapshot. The report covers the whole coalesced batch the
-// updates rode in, which may include other callers' updates.
+// updates rode in, which may include other callers' updates. On a sharded
+// server the batch is split by annotation family and the owning shards
+// commit their sub-batches in parallel; batch atomicity is per shard.
 //
 // Indexes are validated before any token is interned, so a rejected batch
 // cannot grow the shared dictionary (which would let bad requests leak
 // permanent state).
 func (s *Server) AddAnnotations(ctx context.Context, batch []AnnotationUpdate) (UpdateReport, error) {
+	if s.router != nil {
+		rep, err := s.router.AddAnnotations(ctx, shardUpdates(batch))
+		if err != nil {
+			return UpdateReport{}, err
+		}
+		return publicReport(rep), nil
+	}
 	if err := s.validateIndexes(batch); err != nil {
 		return UpdateReport{}, err
 	}
@@ -216,6 +454,14 @@ func (s *Server) AddAnnotations(ctx context.Context, batch []AnnotationUpdate) (
 	return publicReport(rep), nil
 }
 
+func shardUpdates(batch []AnnotationUpdate) []shard.Update {
+	out := make([]shard.Update, len(batch))
+	for i, u := range batch {
+		out[i] = shard.Update{Tuple: u.Tuple, Annotation: u.Annotation}
+	}
+	return out
+}
+
 // validateIndexes rejects out-of-range tuple positions up front. The
 // relation only grows, so an index valid here stays valid at apply time.
 func (s *Server) validateIndexes(batch []AnnotationUpdate) error {
@@ -231,6 +477,13 @@ func (s *Server) validateIndexes(batch []AnnotationUpdate) error {
 // RemoveAnnotations submits an annotation-removal batch and waits until it
 // is applied. Entries whose annotation is absent are skipped and reported.
 func (s *Server) RemoveAnnotations(ctx context.Context, batch []AnnotationUpdate) (UpdateReport, error) {
+	if s.router != nil {
+		rep, err := s.router.RemoveAnnotations(ctx, shardUpdates(batch))
+		if err != nil {
+			return UpdateReport{}, err
+		}
+		return publicReport(rep), nil
+	}
 	dict := s.ds.rel.Dictionary()
 	updates := make([]relation.AnnotationUpdate, 0, len(batch))
 	for i, u := range batch {
@@ -252,8 +505,21 @@ func (s *Server) RemoveAnnotations(ctx context.Context, batch []AnnotationUpdate
 
 // AddTuples submits a tuple batch and waits until it is applied. The batch
 // takes the paper's Case 1 path when any tuple carries annotations and the
-// cheaper Case 2 path when none do.
+// cheaper Case 2 path when none do. On a sharded server the batch fans out
+// to every shard: each replica receives every tuple's data values plus the
+// annotations its families own, in the same order.
 func (s *Server) AddTuples(ctx context.Context, batch []TupleSpec) (UpdateReport, error) {
+	if s.router != nil {
+		specs := make([]shard.TupleSpec, len(batch))
+		for i, t := range batch {
+			specs[i] = shard.TupleSpec{Values: t.Values, Annotations: t.Annotations}
+		}
+		rep, err := s.router.AddTuples(ctx, specs)
+		if err != nil {
+			return UpdateReport{}, err
+		}
+		return publicReport(rep), nil
+	}
 	dict := s.ds.rel.Dictionary()
 	tuples := make([]relation.Tuple, 0, len(batch))
 	for i, spec := range batch {
@@ -277,11 +543,22 @@ func (s *Server) ApplyUpdateFile(ctx context.Context, r io.Reader) (UpdateReport
 	if err != nil {
 		return UpdateReport{}, err
 	}
-	n := s.ds.rel.Len()
+	n := s.serveLen()
 	for _, u := range lines {
 		if u.Index < 0 || u.Index >= n {
 			return UpdateReport{}, fmt.Errorf("annotadb: update %d:%s: %w (relation has %d tuples)", u.Index+1, u.Token, relation.ErrTupleIndex, n)
 		}
+	}
+	if s.router != nil {
+		batch := make([]shard.Update, len(lines))
+		for i, u := range lines {
+			batch[i] = shard.Update{Tuple: u.Index, Annotation: u.Token}
+		}
+		rep, err := s.router.AddAnnotations(ctx, batch)
+		if err != nil {
+			return UpdateReport{}, err
+		}
+		return publicReport(rep), nil
 	}
 	updates, err := storage.ResolveUpdates(s.ds.rel, lines)
 	if err != nil {
@@ -294,24 +571,66 @@ func (s *Server) ApplyUpdateFile(ctx context.Context, r io.Reader) (UpdateReport
 	return publicReport(rep), nil
 }
 
+// serveLen returns the live served relation length (merged for sharded).
+func (s *Server) serveLen() int {
+	if s.router != nil {
+		return s.router.Len()
+	}
+	return s.ds.rel.Len()
+}
+
+// ShardServerStats is one shard's serving statistics inside ServerStats.
+type ShardServerStats struct {
+	// Shard is the shard index.
+	Shard int
+	// SnapshotSeq, Tuples, and RuleCount identify the shard's published
+	// snapshot.
+	SnapshotSeq uint64
+	Tuples      int
+	RuleCount   int
+	// RelVersion and LiveRelVersion measure the shard's snapshot staleness
+	// in replica mutations.
+	RelVersion     uint64
+	LiveRelVersion uint64
+	// Attachments and DistinctAnnotations describe the shard's share of the
+	// annotation load (its families only).
+	Attachments         int
+	DistinctAnnotations int
+	// Requests, Batches, Coalesced, and Reads are the shard's serving
+	// counters.
+	Requests  uint64
+	Batches   uint64
+	Coalesced uint64
+	Reads     uint64
+	// Remines counts the shard engine's full re-mine fallbacks.
+	Remines int
+}
+
 // ServerStats reports serving activity and the published snapshot.
 type ServerStats struct {
-	// SnapshotSeq is the publish sequence number of the current snapshot —
-	// the generation every read in flight is being answered from.
+	// SnapshotSeq identifies the current snapshot: the publish sequence for
+	// an unsharded server, the sum of the per-shard sequence vector for a
+	// sharded one (a staleness indicator; SeqVector is the authoritative
+	// generation identity).
 	SnapshotSeq uint64
-	// Tuples is the relation size the snapshot's rules refer to.
+	// Tuples is the relation size the snapshot's rules refer to (for a
+	// sharded server, the merged generation: the minimum per-shard
+	// snapshot size).
 	Tuples int
-	// RuleCount is the number of valid rules in the snapshot.
+	// RuleCount is the number of valid rules in the snapshot (summed
+	// across shards; per-shard rule sets are disjoint).
 	RuleCount int
 	// RelVersion is the relation mutation counter the snapshot was
 	// published at; LiveRelVersion is the counter now. Their difference is
-	// the snapshot's staleness in relation mutations (0 when idle).
+	// the snapshot's staleness in relation mutations (0 when idle). For a
+	// sharded server both are summed across shards, so the difference is
+	// the aggregate staleness.
 	RelVersion     uint64
 	LiveRelVersion uint64
 	// Attachments and DistinctAnnotations describe the snapshot's relation
 	// generation: total (tuple, annotation) pairs and annotations present
-	// on at least one tuple. Both come from the frozen frequency table, so
-	// polling them never blocks the writer.
+	// on at least one tuple. Both come from the frozen frequency tables, so
+	// polling them never blocks any writer.
 	Attachments         int
 	DistinctAnnotations int
 	// Requests, Batches, Coalesced, Reads are serving counters: write
@@ -323,10 +642,54 @@ type ServerStats struct {
 	Reads     uint64
 	// Remines counts fallbacks to a full re-mine over the server's life.
 	Remines int
+	// Shards is the shard count (0 for an unsharded server) and SeqVector
+	// the per-shard snapshot sequence vector (nil when unsharded).
+	Shards    int
+	SeqVector []uint64
+	// PerShard carries each shard's serving statistics (nil when
+	// unsharded).
+	PerShard []ShardServerStats
 }
 
 // Stats returns current serving statistics.
 func (s *Server) Stats() ServerStats {
+	if s.router != nil {
+		st := s.router.Stats()
+		out := ServerStats{
+			SnapshotSeq:         seqSum(st.Seqs),
+			Tuples:              st.N,
+			RuleCount:           st.RuleCount,
+			Attachments:         st.Attachments,
+			DistinctAnnotations: st.DistinctAnnotations,
+			Requests:            st.Requests,
+			Batches:             st.Batches,
+			Coalesced:           st.Coalesced,
+			Reads:               st.Reads,
+			Remines:             st.Remines,
+			Shards:              st.Shards,
+			SeqVector:           st.Seqs,
+		}
+		for _, ss := range st.PerShard {
+			out.RelVersion += ss.RelVersion
+			out.LiveRelVersion += ss.LiveRelVersion
+			out.PerShard = append(out.PerShard, ShardServerStats{
+				Shard:               ss.Shard,
+				SnapshotSeq:         ss.Seq,
+				Tuples:              ss.N,
+				RuleCount:           ss.RuleCount,
+				RelVersion:          ss.RelVersion,
+				LiveRelVersion:      ss.LiveRelVersion,
+				Attachments:         ss.Attachments,
+				DistinctAnnotations: ss.DistinctAnnotations,
+				Requests:            ss.Requests,
+				Batches:             ss.Batches,
+				Coalesced:           ss.Coalesced,
+				Reads:               ss.Reads,
+				Remines:             ss.Engine.Remines,
+			})
+		}
+		return out
+	}
 	st := s.core.Stats()
 	return ServerStats{
 		SnapshotSeq:         st.Seq,

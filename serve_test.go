@@ -34,7 +34,10 @@ func newTestServer(t *testing.T, opts ServeOptions) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(eng, opts)
+	srv, err := NewServer(eng, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
