@@ -28,7 +28,13 @@
 //   - OpenDurable: the persistent form of the above — every update batch
 //     is write-ahead logged and the mined state is checkpointed, so a
 //     restart recovers in time proportional to the un-checkpointed tail
-//     instead of re-mining the relation.
+//     instead of re-mining the relation;
+//   - Server.Subscribe: a durable, cursor-resumable stream of rule churn —
+//     every published generation is diffed against its predecessor into
+//     typed events (promoted, demoted, added, retired, confidence changed)
+//     retained in rotated log segments, so curators watch the rules evolve
+//     instead of polling and diffing; cmd/annotserve serves it as
+//     GET /events (Server-Sent Events with Last-Event-ID resume).
 //
 // Generalization rules ("Annot_X : Annot_1, Annot_5", Figure 9) can be
 // applied to a Dataset or routed through an Engine, extending the database

@@ -46,7 +46,15 @@
 //	POST /tuples       append tuples: JSON
 //	                   {"tuples":[{"values":["28","85"],"annotations":[]}]}
 //	GET  /stats        serving, dataset, and durability statistics
-//	GET  /healthz      liveness probe
+//	GET  /events       rule-churn event stream (Server-Sent Events):
+//	                   promotions, demotions, additions, retirements, and
+//	                   confidence changes, cursor-addressed for resume via
+//	                   Last-Event-ID (?from=, ?family=, ?kind=, ?tier=
+//	                   filter; durable servers retain rotated history so
+//	                   resume survives a clean restart)
+//	GET  /healthz      health probe: 200 ok, or 503 degraded once the
+//	                   server latched an unrecoverable write-path failure
+//	                   (diverged shard replicas, WAL fsync failure)
 //
 // Errors are structured JSON: {"error":{"code":"...","message":"..."}}.
 //
@@ -104,6 +112,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		ckptBytes     = fs.Int64("checkpoint-bytes", 0, "checkpoint when the WAL reaches this size (0 = 4MiB, negative disables)")
 		ckptAge       = fs.Duration("checkpoint-age", 0, "checkpoint when the oldest un-checkpointed record is this old (0 disables)")
 		walEncoding   = fs.String("wal-encoding", "binary", "WAL record encoding: binary or json")
+		events        = fs.Bool("events", true, "serve the rule-churn event stream on GET /events")
+		eventRing     = fs.Int("event-ring", 0, "in-memory churn-event ring capacity (0 = 1024)")
+		eventSegBytes = fs.Int64("event-segment-bytes", 0, "rotate the durable event log at this segment size (0 = 1MiB)")
+		eventRetain   = fs.Int("event-retain", 0, "sealed event segments retained for cursor resume (0 = 8, negative retains all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -132,6 +144,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			MinConfidence: *recMinConf,
 			MinSupport:    *recMinSup,
 			Limit:         *recLimit,
+		},
+		Stream: annotadb.StreamOptions{
+			Disabled:       !*events,
+			Ring:           *eventRing,
+			SegmentBytes:   *eventSegBytes,
+			RetainSegments: *eventRetain,
 		},
 	}
 	var (
@@ -212,13 +230,19 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			source, st.Tuples, st.RuleCount, ln.Addr())
 	}
 
-	hs := &http.Server{Handler: newHandler(srv)}
+	// SSE connections never finish on their own, so graceful Shutdown would
+	// wait on them forever; streamCtx is canceled first, closing every
+	// event stream before in-flight request draining starts.
+	streamCtx, stopStreams := context.WithCancel(context.Background())
+	defer stopStreams()
+	hs := &http.Server{Handler: newHandler(srv, streamCtx)}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
 	select {
 	case <-ctx.Done():
 		fmt.Fprintln(stdout, "annotserve: shutting down")
+		stopStreams()
 		shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		shutdownErr := hs.Shutdown(shCtx) // stop accepting, finish in-flight
@@ -229,6 +253,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		return closeErr
 	case err := <-serveErr:
+		stopStreams()
 		shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		_ = srv.Close(shCtx)
@@ -239,16 +264,30 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 // api exposes one Server over HTTP.
 type api struct {
 	srv *annotadb.Server
+	// streamCtx gates every /events stream: canceling it (graceful
+	// shutdown) ends the streams so Shutdown's in-flight drain can finish.
+	streamCtx context.Context
+	// health backs /healthz; newHandler wires srv.Health, tests substitute
+	// latched outcomes.
+	health func() error
 }
 
-func newHandler(srv *annotadb.Server) http.Handler {
-	a := &api{srv: srv}
+func newHandler(srv *annotadb.Server, streamCtx context.Context) http.Handler {
+	return newHandlerHealth(srv, streamCtx, srv.Health)
+}
+
+// newHandlerHealth is newHandler with an injectable health probe (the latch
+// paths it reports — diverged replicas, a failed WAL fsync — are one-way
+// states a handler test cannot cheaply enter for real).
+func newHandlerHealth(srv *annotadb.Server, streamCtx context.Context, health func() error) http.Handler {
+	a := &api{srv: srv, streamCtx: streamCtx, health: health}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /rules", a.rules)
 	mux.HandleFunc("GET /recommend", a.recommend)
 	mux.HandleFunc("POST /annotations", a.annotations)
 	mux.HandleFunc("POST /tuples", a.tuples)
 	mux.HandleFunc("GET /stats", a.stats)
+	mux.HandleFunc("GET /events", a.events)
 	mux.HandleFunc("GET /healthz", a.healthz)
 	return mux
 }
@@ -558,6 +597,21 @@ func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 		}
 		body["per_shard"] = perShard
 	}
+	if ss := a.srv.StreamStats(); ss.Enabled {
+		// The churn stream: event volume, live subscribers, and the cursor
+		// range a client can still resume from.
+		streamBody := map[string]any{
+			"events_published": ss.EventsPublished,
+			"subscribers":      ss.Subscribers,
+			"gap_events":       ss.GapEvents,
+			"first_cursor":     ss.FirstCursor,
+			"next_cursor":      ss.NextCursor,
+		}
+		if len(ss.PerShard) > 1 {
+			streamBody["per_shard_events"] = ss.PerShard
+		}
+		body["stream"] = streamBody
+	}
 	if d := a.srv.Durability(); d != nil {
 		durability := map[string]any{
 			"records_appended":     d.RecordsAppended,
@@ -589,11 +643,168 @@ func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 			}
 			durability["per_shard"] = per
 		}
+		if ev := d.Events; ev != nil {
+			// The rotated-segment event log behind /events: one per server
+			// (sharded streams merge into a single cursor order beside the
+			// cluster manifest), so these counters are cluster-level.
+			durability["events"] = map[string]any{
+				"segments":        ev.Segments,
+				"first_cursor":    ev.FirstCursor,
+				"next_cursor":     ev.NextCursor,
+				"retained_bytes":  ev.RetainedBytes,
+				"appends":         ev.Appends,
+				"syncs":           ev.Syncs,
+				"rotations":       ev.Rotations,
+				"rotated_bytes":   ev.RotatedBytes,
+				"retention_trims": ev.RetentionTrims,
+				"trimmed_bytes":   ev.TrimmedBytes,
+			}
+		}
 		body["durability"] = durability
 	}
 	writeJSON(w, http.StatusOK, body)
 }
 
+// healthz reports liveness and write-path health: 200 {"status":"ok"}
+// while writes can proceed, 503 {"status":"degraded","reason":...} once
+// the server latched an unrecoverable failure (diverged shard replicas, a
+// WAL fsync failure). Reads keep serving from published snapshots while
+// degraded; the probe tells load balancers to stop routing writes here
+// until a restart recovers.
 func (a *api) healthz(w http.ResponseWriter, r *http.Request) {
+	if err := a.health(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "degraded",
+			"reason": err.Error(),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// eventCountsJSON is the wire form of one side of a rule's count change.
+type eventCountsJSON struct {
+	PatternCount int     `json:"pattern_count"`
+	LHSCount     int     `json:"lhs_count"`
+	N            int     `json:"n"`
+	Support      float64 `json:"support"`
+	Confidence   float64 `json:"confidence"`
+}
+
+// eventJSON is the wire form of one churn event (the SSE data: payload).
+type eventJSON struct {
+	Cursor    uint64           `json:"cursor,omitempty"`
+	Seq       uint64           `json:"seq,omitempty"`
+	SeqVector []uint64         `json:"seq_vector,omitempty"`
+	Shard     int              `json:"shard"`
+	Kind      string           `json:"kind"`
+	Tier      string           `json:"tier,omitempty"`
+	Family    string           `json:"family,omitempty"`
+	LHS       []string         `json:"lhs,omitempty"`
+	RHS       string           `json:"rhs,omitempty"`
+	Old       *eventCountsJSON `json:"old,omitempty"`
+	New       *eventCountsJSON `json:"new,omitempty"`
+	From      uint64           `json:"from,omitempty"`
+	To        uint64           `json:"to,omitempty"`
+}
+
+func toEventCountsJSON(c *annotadb.RuleCounts) *eventCountsJSON {
+	if c == nil {
+		return nil
+	}
+	return &eventCountsJSON{
+		PatternCount: c.PatternCount,
+		LHSCount:     c.LHSCount,
+		N:            c.N,
+		Support:      c.Support,
+		Confidence:   c.Confidence,
+	}
+}
+
+func toEventJSON(ev annotadb.Event) eventJSON {
+	return eventJSON{
+		Cursor:    ev.Cursor,
+		Seq:       ev.Seq,
+		SeqVector: ev.SeqVector,
+		Shard:     ev.Shard,
+		Kind:      ev.Kind,
+		Tier:      ev.Tier,
+		Family:    ev.Family,
+		LHS:       ev.LHS,
+		RHS:       ev.RHS,
+		Old:       toEventCountsJSON(ev.Old),
+		New:       toEventCountsJSON(ev.New),
+		From:      ev.From,
+		To:        ev.To,
+	}
+}
+
+// events streams rule churn as Server-Sent Events. Resume: pass the last
+// cursor seen as the Last-Event-ID header (the standard SSE reconnect
+// behavior — every non-gap event carries id: <cursor>) or as ?from=C to
+// start at cursor C inclusively; with neither, the stream starts live.
+// Filters: repeatable family= and kind= parameters, and tier=valid or
+// tier=candidate. A position older than retained history yields one
+// event: gap frame, then the stream continues from the oldest retained
+// event.
+func (a *api) events(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	opts := annotadb.SubscribeOptions{
+		Families: q["family"],
+		Kinds:    q["kind"],
+		Tier:     q.Get("tier"),
+	}
+	if v := q.Get("from"); v != "" {
+		from, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || from == 0 {
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, fmt.Errorf("bad from cursor %q (cursors start at 1)", v))
+			return
+		}
+		opts.FromSeq = from
+	} else if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		last, err := strconv.ParseUint(strings.TrimSpace(lei), 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, fmt.Errorf("bad Last-Event-ID %q", lei))
+			return
+		}
+		opts.FromSeq = last + 1
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, codeInternal, errors.New("response writer does not support streaming"))
+		return
+	}
+	// The stream ends when the client disconnects or the server shuts down.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(a.streamCtx, cancel)
+	defer stop()
+	ch, err := a.srv.Subscribe(ctx, opts)
+	if err != nil {
+		if errors.Is(err, annotadb.ErrStreamDisabled) {
+			writeError(w, http.StatusNotFound, codeNotFound, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for ev := range ch {
+		data, err := json.Marshal(toEventJSON(ev))
+		if err != nil {
+			return
+		}
+		// Gap events are synthetic and carry no id: a reconnect must resume
+		// from the last real cursor, not from a per-subscriber artifact.
+		if ev.Kind != annotadb.EventGap {
+			fmt.Fprintf(w, "id: %d\n", ev.Cursor)
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
+		flusher.Flush()
+	}
 }

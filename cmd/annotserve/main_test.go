@@ -54,7 +54,7 @@ func newTestAPI(t *testing.T) (*httptest.Server, *annotadb.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(srv))
+	ts := httptest.NewServer(newHandler(srv, context.Background()))
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -409,7 +409,7 @@ func TestWriteAfterShutdownIs503(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(srv))
+	ts := httptest.NewServer(newHandler(srv, context.Background()))
 	defer ts.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -709,7 +709,7 @@ func newShardedAPI(t *testing.T, shards int) (*httptest.Server, *annotadb.Server
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(srv))
+	ts := httptest.NewServer(newHandler(srv, context.Background()))
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

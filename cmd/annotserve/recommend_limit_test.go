@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"annotadb"
+)
+
+// limitDataset yields exactly four recommendations for tuple 8: v1 implies
+// Annot_a:x .. Annot_d:x at confidence/support 0.8, families spread across
+// shards.
+func writeLimitDataset(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < 8; i++ {
+		b.WriteString("v1 Annot_a:x Annot_b:x Annot_c:x Annot_d:x\n")
+	}
+	b.WriteString("v1\nv1\n")
+	path := filepath.Join(t.TempDir(), "limit.txt")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func limitAPI(t *testing.T, shards, limit int) *httptest.Server {
+	t.Helper()
+	ds, err := annotadb.LoadDataset(writeLimitDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := annotadb.Options{MinSupport: 0.3, MinConfidence: 0.7}
+	sopts := annotadb.ServeOptions{
+		BatchWindow: -1,
+		Recommend:   annotadb.RecommendOptions{Limit: limit},
+	}
+	var srv *annotadb.Server
+	if shards > 1 {
+		sopts.Shards = shards
+		srv, err = annotadb.NewShardedServer(ds, opts, sopts)
+	} else {
+		var eng *annotadb.Engine
+		eng, err = annotadb.NewEngine(ds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err = annotadb.NewServer(eng, sopts)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(srv, context.Background()))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return ts
+}
+
+// TestRecommendLimitEdgeCasesHTTP covers the -rec-limit surface end to end
+// over /recommend, sharded and unsharded: 0 and negative limits are
+// unbounded, a limit beyond the result set returns everything, and a
+// binding limit caps the merged result.
+func TestRecommendLimitEdgeCasesHTTP(t *testing.T) {
+	t.Parallel()
+	for _, shards := range []int{1, 3} {
+		shards := shards
+		for _, tc := range []struct {
+			limit int
+			want  int
+		}{
+			{0, 4},
+			{-2, 4},
+			{50, 4},
+			{2, 2},
+		} {
+			tc := tc
+			t.Run(fmt.Sprintf("shards=%d/limit=%d", shards, tc.limit), func(t *testing.T) {
+				t.Parallel()
+				ts := limitAPI(t, shards, tc.limit)
+				var body struct {
+					Count           int                  `json:"count"`
+					Recommendations []recommendationJSON `json:"recommendations"`
+				}
+				if code := getJSON(t, ts.URL+"/recommend?tuple=8", &body); code != http.StatusOK {
+					t.Fatalf("GET /recommend = %d", code)
+				}
+				if body.Count != tc.want || len(body.Recommendations) != tc.want {
+					t.Fatalf("limit %d returned count=%d len=%d, want %d",
+						tc.limit, body.Count, len(body.Recommendations), tc.want)
+				}
+			})
+		}
+	}
+}

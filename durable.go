@@ -125,6 +125,35 @@ type DurabilityStats struct {
 	Recovery RecoveryReport
 	// PerShard carries each shard's counters (nil when unsharded).
 	PerShard []ShardDurabilityStats
+	// Events reports the durable rule-churn event log (one per server —
+	// sharded streams merge into a single cursor order, so the segments
+	// live beside the cluster manifest, not inside the shard directories).
+	// Nil when the stream is disabled.
+	Events *EventLogStats
+}
+
+// EventLogStats reports the rotated-segment event log behind the rule-churn
+// stream: how much retained history cursors can resume from, and the
+// rotation/retention churn since the server started.
+type EventLogStats struct {
+	// Segments is the retained segment count (sealed + active);
+	// FirstCursor and NextCursor bound the resumable history.
+	Segments    int
+	FirstCursor uint64
+	NextCursor  uint64
+	// RetainedBytes is the on-disk size of the retained segments.
+	RetainedBytes int64
+	// Appends counts events appended since open, Syncs explicit fsyncs of
+	// the active segment (sealing a segment syncs it).
+	Appends uint64
+	Syncs   uint64
+	// Rotations and RotatedBytes count segments sealed since open and their
+	// size at sealing; RetentionTrims and TrimmedBytes count sealed
+	// segments the retention policy deleted.
+	Rotations      uint64
+	RotatedBytes   int64
+	RetentionTrims uint64
+	TrimmedBytes   int64
 }
 
 // OpenDurable opens (or creates) the durable serving store in opts Dir and
@@ -211,6 +240,7 @@ func (s *Server) Durability() *DurabilityStats {
 	if s.cluster != nil {
 		out := &DurabilityStats{
 			Recovery: publicClusterRecovery(s.cluster.Recovery(), len(s.cluster.Stores())),
+			Events:   s.eventLogStats(),
 		}
 		for i, st := range s.cluster.Stats() {
 			out.RecordsAppended += st.Records
@@ -244,5 +274,27 @@ func (s *Server) Durability() *DurabilityStats {
 		CheckpointErrors:       st.CheckpointErrors,
 		LastCheckpointUnixNano: st.LastCheckpointUnixNano,
 		Recovery:               publicRecovery(st.Recovery),
+		Events:                 s.eventLogStats(),
+	}
+}
+
+// eventLogStats snapshots the durable event log's counters, nil when the
+// server streams in memory only (or not at all).
+func (s *Server) eventLogStats() *EventLogStats {
+	if s.eventLog == nil {
+		return nil
+	}
+	st := s.eventLog.Stats()
+	return &EventLogStats{
+		Segments:       st.Segments,
+		FirstCursor:    st.FirstCursor,
+		NextCursor:     st.NextCursor,
+		RetainedBytes:  st.RetainedBytes,
+		Appends:        st.Appends,
+		Syncs:          st.Syncs,
+		Rotations:      st.Rotations,
+		RotatedBytes:   st.RotatedBytes,
+		RetentionTrims: st.RetentionTrims,
+		TrimmedBytes:   st.TrimmedBytes,
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"annotadb/internal/rules"
 	"annotadb/internal/serve"
 	"annotadb/internal/shard"
+	"annotadb/internal/stream"
 	"annotadb/internal/workload"
 )
 
@@ -116,7 +117,104 @@ func All() []Experiment {
 		{ID: "E10", Title: "Ablation: hash-tree vs naive counting; Apriori vs FP-Growth", Anchor: "Figure 3 / §4", Run: runE10},
 		{ID: "E11", Title: "Extension: incremental annotation removal (paper's §6 future work)", Anchor: "§6", Run: runE11},
 		{ID: "E12", Title: "Extension: sharded write path — Case 3 throughput vs shard count", Anchor: "§6 scale-out", Run: runE12},
+		{ID: "E13", Title: "Extension: rule-churn event fanout — publish latency vs subscriber count", Anchor: "§6 curator push", Run: runE13},
 	}
+}
+
+// runE13 measures the event-stream fanout beyond the paper: the same
+// deterministic attach/detach churn workload committed through one serving
+// writer whose snapshot diffs feed 0, 1, 8, and 64 live subscribers (plus
+// one deliberately stalled subscriber in every row). The claim under test
+// is the slow-subscriber policy: delivery rides the subscribers' pump
+// goroutines, so the writer's per-batch latency stays flat as fanout grows
+// and a stalled consumer is absorbed by the gap policy instead of
+// back-pressuring the write path.
+func runE13(p Params) (*Result, error) {
+	scfg := mining.Config{MinSupport: 0.03, MinConfidence: 0.5, Parallelism: 1}
+	batchSize := p.BatchSizes[0]
+	rounds := p.Repeats * 8
+	res := &Result{Header: []string{"subscribers", "batches", "events", "total", "per batch", "vs 0 subs"}}
+	var base time.Duration
+	for _, subs := range []int{0, 1, 8, 64} {
+		rel := shardWorld(p.Seed, p.BaseTuples)
+		eng, err := incremental.New(rel, scfg, incremental.Options{})
+		if err != nil {
+			return nil, err
+		}
+		broker := stream.NewBroker(stream.Options{Ring: 4096})
+		srv := serve.New(eng, serve.Config{
+			BatchWindow: -1,
+			Stream:      stream.NewPublisher(broker, 0, rel.Dictionary()),
+		})
+		ctx, cancel := context.WithCancel(context.Background())
+		for i := 0; i < subs; i++ {
+			sub, serr := broker.Subscribe(ctx, stream.SubscribeOptions{Buffer: 256})
+			if serr != nil {
+				cancel()
+				return nil, serr
+			}
+			go func() {
+				for range sub.Events {
+				}
+			}()
+		}
+		if _, serr := broker.Subscribe(ctx, stream.SubscribeOptions{Buffer: 1}); serr != nil {
+			cancel()
+			return nil, serr
+		}
+		n := rel.Len()
+		dict := rel.Dictionary()
+		d, err := timeIt(func() error {
+			bg := context.Background()
+			for r := 0; r < rounds; r++ {
+				batch := make([]relation.AnnotationUpdate, batchSize)
+				member, ierr := dict.InternAnnotation(fmt.Sprintf("Annot_f%d:m2", r%8))
+				if ierr != nil {
+					return ierr
+				}
+				for j := range batch {
+					batch[j] = relation.AnnotationUpdate{Index: (r*batchSize + j*31) % n, Annotation: member}
+				}
+				var e error
+				if r%2 == 0 {
+					_, e = srv.AddAnnotations(bg, batch)
+				} else {
+					_, e = srv.RemoveAnnotations(bg, batch)
+				}
+				if e != nil {
+					return e
+				}
+			}
+			return nil
+		})
+		events := broker.Stats().Published
+		closeCtx, closeCancel := context.WithTimeout(context.Background(), time.Minute)
+		closeErr := srv.Close(closeCtx)
+		closeCancel()
+		cancel()
+		broker.Close()
+		if err != nil {
+			return nil, err
+		}
+		if closeErr != nil {
+			return nil, closeErr
+		}
+		if subs == 0 {
+			base = d
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", subs),
+			fmt.Sprintf("%d", rounds),
+			fmt.Sprintf("%d", events),
+			ms(d),
+			ms(d / time.Duration(rounds)),
+			fmt.Sprintf("%.2fx", float64(d)/float64(maxDuration(base, time.Nanosecond))),
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("workload: %d tuples, %d-update attach/detach batches, seed %d; every row also carries one stalled subscriber that never reads", p.BaseTuples, batchSize, p.Seed),
+		"publish latency is flat in fanout because delivery happens on subscriber pump goroutines; the microbenchmark equivalent is BenchmarkEventFanout in internal/stream")
+	return res, nil
 }
 
 // shardWorld generates the sharded benchmark relation: families

@@ -32,6 +32,7 @@ var lintedPackages = []string{
 	"internal/serve",
 	"internal/shard",
 	"internal/storage",
+	"internal/stream",
 	"internal/wal",
 	"internal/workload",
 }

@@ -132,8 +132,10 @@ type Engine struct {
 	// view memoizes valid.Freeze() between mutations so that snapshot reads
 	// are O(1) after the first. Invalidated by bootstrap and reclassify,
 	// which every mutating path funnels through (paths that early-return
-	// without reaching them did not change the rule set).
-	view *rules.View
+	// without reaching them did not change the rule set). candsView is the
+	// same memo for the candidate tier, invalidated at the same points.
+	view      *rules.View
+	candsView *rules.View
 
 	dataCat  *apriori.Catalog
 	annotCat *apriori.Catalog
@@ -215,6 +217,7 @@ func (e *Engine) bootstrap() error {
 	e.slackCount = res.SlackCount
 	e.relevant = nil
 	e.view = nil
+	e.candsView = nil
 	e.refreshRelevance()
 	e.stats.Bootstraps++
 	return nil
@@ -312,7 +315,11 @@ func (e *Engine) rulesViewLocked() *rules.View {
 // same generation, so a reader that evaluates Rules against a tuple fetched
 // from Relation can never see a torn pairing.
 type Snapshot struct {
-	Rules      *rules.View
+	Rules *rules.View
+	// Candidates is the near-miss slack pool of the same generation, frozen
+	// alongside Rules so tier transitions (promotions, demotions) can be
+	// diffed exactly between consecutive snapshots.
+	Candidates *rules.View
 	Relation   *relation.View
 	N          int
 	MinCount   int
@@ -328,8 +335,12 @@ func (e *Engine) Snapshot() Snapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	rv := e.rel.View()
+	if e.candsView == nil {
+		e.candsView = e.cands.Freeze()
+	}
 	return Snapshot{
 		Rules:      e.rulesViewLocked(),
+		Candidates: e.candsView,
 		Relation:   rv,
 		N:          e.n,
 		MinCount:   e.minCount,
@@ -397,6 +408,7 @@ func (e *Engine) fileRule(r rules.Rule) bool {
 // dropping candidates that fell below the slack pool.
 func (e *Engine) reclassify(rep *Report) {
 	e.view = nil
+	e.candsView = nil
 	var demote []rules.Rule
 	e.valid.Each(func(r rules.Rule) bool {
 		if !r.Meets(e.cfg.MinSupport, e.cfg.MinConfidence) {

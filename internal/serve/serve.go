@@ -26,6 +26,7 @@ import (
 	"annotadb/internal/predict"
 	"annotadb/internal/relation"
 	"annotadb/internal/rules"
+	"annotadb/internal/stream"
 )
 
 // ErrClosed is returned by write methods after Close.
@@ -87,6 +88,15 @@ type Config struct {
 	// Journal, when non-nil, write-ahead logs every batch before it is
 	// applied. Nil serves purely in memory.
 	Journal Journal
+	// Stream, when non-nil, receives the rule churn of every published
+	// snapshot: after each publish the writer diffs the outgoing and
+	// incoming rule tiers (valid and candidate) and appends the typed
+	// events — promoted, demoted, added, retired, confidence changed — to
+	// the stream broker, stamped with the new snapshot's Seq. The initial
+	// publish emits nothing: it is the baseline later generations diff
+	// against (on a durable reopen that baseline is the recovered state, so
+	// a restart does not replay the whole rule set as rule_added churn).
+	Stream *stream.Publisher
 }
 
 func (c Config) batchWindow() time.Duration {
@@ -549,6 +559,7 @@ func (s *Server) publish() {
 			distinct++
 		}
 	}
+	prev := s.snap.Load()
 	snap := &Snapshot{
 		Seq:                 s.seq.Add(1),
 		N:                   es.N,
@@ -557,9 +568,16 @@ func (s *Server) publish() {
 		EngineStats:         es.Stats,
 		View:                es.Relation,
 		Rules:               es.Rules,
+		Candidates:          es.Candidates,
 		Compiled:            predict.Compile(es.Rules, s.cfg.Recommend),
 		Attachments:         attachments,
 		DistinctAnnotations: distinct,
 	}
 	s.snap.Store(snap)
+	if s.cfg.Stream != nil && prev != nil {
+		// The initial publish (prev == nil) is the diff baseline, not churn.
+		s.cfg.Stream.Publish(snap.Seq,
+			stream.TierViews{Valid: prev.Rules, Candidates: prev.Candidates},
+			stream.TierViews{Valid: snap.Rules, Candidates: snap.Candidates})
+	}
 }

@@ -35,6 +35,11 @@ type Snapshot struct {
 	View *relation.View
 	// Rules is the immutable valid rule set.
 	Rules *rules.View
+	// Candidates is the near-miss candidate tier of the same generation,
+	// captured under the same engine lock as Rules. The stream hook diffs
+	// consecutive snapshots' tiers into churn events; readers may also use
+	// it to inspect rules hovering below the thresholds.
+	Candidates *rules.View
 	// Compiled evaluates recommendations against Rules.
 	Compiled *predict.Compiled
 	// Attachments and DistinctAnnotations summarize View's frequency

@@ -419,6 +419,21 @@ func (c *Cluster) writeManifest() error {
 // implements serve.Journal for its shard's writer (Router Config.Journals).
 func (c *Cluster) Stores() []*wal.Store { return c.stores }
 
+// Dir returns the cluster's data directory.
+func (c *Cluster) Dir() string { return c.dir }
+
+// Failed reports the first shard store's latched unrecoverable failure, or
+// nil while every shard is healthy. Safe from any goroutine; health
+// endpoints surface it.
+func (c *Cluster) Failed() error {
+	for s, st := range c.stores {
+		if err := st.Failed(); err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
 // Journals adapts Stores to the Router's journal slice (Config.Journals).
 func (c *Cluster) Journals() []serve.Journal {
 	out := make([]serve.Journal, len(c.stores))

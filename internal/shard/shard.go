@@ -58,6 +58,7 @@ import (
 	"annotadb/internal/relation"
 	"annotadb/internal/rules"
 	"annotadb/internal/serve"
+	"annotadb/internal/stream"
 )
 
 // Update is one token-level annotation attachment (or detachment): attach
@@ -119,12 +120,19 @@ type Config struct {
 	// shard (the router still works, with every family on shard 0).
 	Shards int
 	// Serve is the per-shard serving configuration (batch window, queue
-	// depth, recommendation filter). Its Journal field must be nil; use
-	// Journals to attach per-shard durability.
+	// depth, recommendation filter). Its Journal and Stream fields must be
+	// nil; use Journals to attach per-shard durability and Stream to attach
+	// the shared churn broker.
 	Serve serve.Config
 	// Journals, when non-nil, must hold one Journal per shard; shard i's
 	// writer write-ahead logs through Journals[i].
 	Journals []serve.Journal
+	// Stream, when non-nil, receives every shard's rule-churn events: each
+	// shard's writer diffs its own snapshots and appends to this shared
+	// broker, whose append lock merges the per-shard streams into one
+	// cursor order stamped with the merged seq vector. Config.Serve's own
+	// Stream field must be nil; the router wires a per-shard publisher.
+	Stream *stream.Broker
 }
 
 func (c Config) shards() int {
@@ -166,13 +174,19 @@ type Router struct {
 	failed atomic.Pointer[error]
 }
 
-// writeAllowed reports the latched failure, if any.
-func (r *Router) writeAllowed() error {
+// Err reports the latched replica-divergence failure, wrapped in
+// ErrReplicasDiverged, or nil while the router is healthy. Health probes
+// surface it so a load balancer stops routing writes at a latched replica
+// set instead of collecting per-request errors.
+func (r *Router) Err() error {
 	if p := r.failed.Load(); p != nil {
 		return fmt.Errorf("%w: %w", ErrReplicasDiverged, *p)
 	}
 	return nil
 }
+
+// writeAllowed reports the latched failure, if any.
+func (r *Router) writeAllowed() error { return r.Err() }
 
 // NewRouter partitions src by annotation family into cfg.Shards relations
 // (one ProjectAll pass), mines each shard in parallel with build, and
@@ -239,6 +253,9 @@ func FromEngines(engines []*incremental.Engine, cfg Config) (*Router, error) {
 			scfg.Journal = cfg.Journals[s]
 		}
 		rel := eng.Relation()
+		if cfg.Stream != nil {
+			scfg.Stream = stream.NewPublisher(cfg.Stream, s, rel.Dictionary())
+		}
 		r.shards[s] = &shardState{
 			srv:  serve.New(eng, scfg),
 			eng:  eng,

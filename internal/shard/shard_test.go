@@ -250,9 +250,16 @@ func TestRouterLatchesOnReplicaDivergence(t *testing.T) {
 	defer closeRouter(t, router)
 	ctx := context.Background()
 
+	if err := router.Err(); err != nil {
+		t.Fatalf("healthy router reports Err() = %v", err)
+	}
 	cause := errors.New("boom")
 	router.failed.CompareAndSwap(nil, &cause)
 
+	// The health-probe surface reports the latch with its cause.
+	if err := router.Err(); !errors.Is(err, ErrReplicasDiverged) || !errors.Is(err, cause) {
+		t.Errorf("Err() after latch = %v, want ErrReplicasDiverged wrapping %v", err, cause)
+	}
 	if _, err := router.AddTuples(ctx, []TupleSpec{{Values: []string{"d1"}}}); !errors.Is(err, ErrReplicasDiverged) {
 		t.Errorf("AddTuples after latch: err = %v, want ErrReplicasDiverged", err)
 	}

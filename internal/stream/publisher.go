@@ -1,0 +1,42 @@
+package stream
+
+import (
+	"sync/atomic"
+
+	"annotadb/internal/relation"
+)
+
+// Publisher adapts one serving core to a Broker: it diffs the core's
+// outgoing and incoming rule tiers at every snapshot publish, renders the
+// churn under the core's own dictionary, and appends the events to the
+// (possibly shared) broker stamped with the core's shard index. It is
+// driven from the core's single writer goroutine, so calls never race each
+// other; distinct shards' publishers share the broker, whose lock is the
+// deterministic merge point.
+type Publisher struct {
+	broker *Broker
+	shard  int
+	dict   *relation.Dictionary
+	errs   atomic.Uint64
+}
+
+// NewPublisher builds a publisher for one serving core: shard is its index
+// (0 unsharded) and dict the dictionary its rule items render under.
+func NewPublisher(broker *Broker, shard int, dict *relation.Dictionary) *Publisher {
+	return &Publisher{broker: broker, shard: shard, dict: dict}
+}
+
+// Publish diffs the two generations and appends the resulting events at
+// generation seq. A no-churn publish appends nothing.
+func (p *Publisher) Publish(seq uint64, prev, next TierViews) {
+	events := Diff(prev, next, p.dict)
+	if len(events) == 0 {
+		return
+	}
+	if err := p.broker.Publish(p.shard, seq, events); err != nil {
+		p.errs.Add(1)
+	}
+}
+
+// Errors counts Publish calls the broker refused (it was already closed).
+func (p *Publisher) Errors() uint64 { return p.errs.Load() }

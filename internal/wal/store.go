@@ -124,8 +124,10 @@ type Store struct {
 	// discarded by the next recovery), or an append landed in the file but
 	// its fsync failed (later appends would follow a phantom record that
 	// recovery replays). The store refuses further appends — clients get
-	// errors instead of silent divergence — until a restart recovers.
-	failed error
+	// errors instead of silent divergence — until a restart recovers. Only
+	// the writer sets it; health probes read it from any goroutine (Failed),
+	// hence the atomic.
+	failed atomic.Pointer[error]
 }
 
 // Open recovers (or bootstraps) the durable store in opts.Dir.
@@ -270,6 +272,26 @@ func Open(opts Options, cfg mining.Config, eopts incremental.Options, bootstrap 
 // by a checkpoint. Belongs to the single writer, like the mutating methods.
 func (s *Store) HasPendingRecords() bool { return s.log.Size() > logHeaderSize }
 
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.opts.Dir }
+
+// Failed reports the latched unrecoverable-in-process failure (an append
+// fsync failure or a post-checkpoint truncation failure), or nil while the
+// store is healthy. Once non-nil it stays non-nil: appends are refused and
+// the process should be restarted so recovery replays a consistent prefix.
+// Safe from any goroutine; health endpoints surface it.
+func (s *Store) Failed() error {
+	if p := s.failed.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// latch records the first unrecoverable failure. Writer-only.
+func (s *Store) latch(err error) {
+	s.failed.CompareAndSwap(nil, &err)
+}
+
 // Epoch returns the checkpoint generation the log currently extends. It
 // advances with every installed checkpoint; a sharded deployment records
 // the per-shard epoch vector in its manifest so a shard directory restored
@@ -363,8 +385,8 @@ func (s *Store) append(rec Record) error {
 	if s.closed {
 		return errors.New("wal: store closed")
 	}
-	if s.failed != nil {
-		return fmt.Errorf("wal: store failed, refusing append (restart to recover): %w", s.failed)
+	if err := s.Failed(); err != nil {
+		return fmt.Errorf("wal: store failed, refusing append (restart to recover): %w", err)
 	}
 	if s.oldestPending.IsZero() {
 		s.oldestPending = time.Now()
@@ -381,7 +403,7 @@ func (s *Store) append(rec Record) error {
 			// appends would land after a phantom record that recovery
 			// replays, silently shifting every subsequent tuple index.
 			// Latch instead; a restart replays a consistent prefix.
-			s.failed = err
+			s.latch(err)
 			return err
 		}
 		s.syncs.Add(1)
@@ -389,7 +411,7 @@ func (s *Store) append(rec Record) error {
 	case SyncInterval:
 		if time.Since(s.lastSync) >= s.opts.syncEvery() {
 			if err := s.log.Sync(); err != nil {
-				s.failed = err
+				s.latch(err)
 				return err
 			}
 			s.syncs.Add(1)
@@ -465,7 +487,7 @@ func (s *Store) finishTruncate(epoch uint64, covered int64, takenAt time.Time) e
 		// epoch: recovery would re-skip the covered prefix, but this
 		// process can no longer prove what an append covers. Latch so
 		// appends refuse instead of risking acknowledged writes.
-		s.failed = err
+		s.latch(err)
 		s.checkpointErrors.Add(1)
 		return err
 	}
@@ -500,8 +522,8 @@ func (s *Store) Committed() error {
 	if s.closed || s.inflight != nil || !s.shouldCheckpoint() {
 		return nil
 	}
-	if s.failed != nil {
-		return fmt.Errorf("wal: store failed (restart to recover): %w", s.failed)
+	if err := s.Failed(); err != nil {
+		return fmt.Errorf("wal: store failed (restart to recover): %w", err)
 	}
 	ck := s.capture()
 	in := &pendingInstall{
@@ -550,8 +572,8 @@ func (s *Store) Checkpoint() error {
 	if err := s.finishInstall(true); err != nil {
 		return err
 	}
-	if s.failed != nil {
-		return fmt.Errorf("wal: store failed (restart to recover): %w", s.failed)
+	if err := s.Failed(); err != nil {
+		return fmt.Errorf("wal: store failed (restart to recover): %w", err)
 	}
 	ck := s.capture()
 	takenAt := time.Now()

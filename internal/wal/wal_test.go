@@ -719,3 +719,47 @@ func TestStoreBackgroundCheckpointsUnderServingLoad(t *testing.T) {
 		t.Errorf("recovered state fails re-mine verification: %v", err)
 	}
 }
+
+// TestStoreFailedLatchRefusesWrites pins the health-probe contract of the
+// failure latch: a cleanly failed append (the write itself errored, nothing
+// durable is ambiguous) does NOT latch, while a latched store — the state
+// the fsync-failure and truncation-failure paths enter via latch() —
+// reports the cause through Failed() from any goroutine and refuses every
+// later append and checkpoint with that cause.
+func TestStoreFailedLatchRefusesWrites(t *testing.T) {
+	s := openFixtureStore(t, Options{Dir: t.TempDir(), Sync: SyncAlways})
+	if err := s.Failed(); err != nil {
+		t.Fatalf("fresh store already failed: %v", err)
+	}
+	dict := s.Engine().Relation().Dictionary()
+	a1, _ := dict.Lookup("Annot_1")
+
+	// A write that fails outright (broken descriptor) is a clean failure:
+	// nothing reached the file, so the store must NOT latch.
+	good := s.log.f
+	s.log.f, _ = os.Open(s.log.path) // read-only: WriteAt fails, nothing lands
+	if err := s.LogAnnotations([]relation.AnnotationUpdate{{Index: 5, Annotation: a1}}, false); err == nil {
+		t.Fatal("append through a read-only descriptor succeeded")
+	}
+	if err := s.Failed(); err != nil {
+		t.Fatalf("clean append failure latched the store: %v", err)
+	}
+	s.log.f.Close()
+	s.log.f = good
+
+	// Now latch, exactly as the fsync-failure path does, and check the
+	// probe surface: Failed reports the cause, appends and checkpoints are
+	// refused wrapping it.
+	cause := errors.New("sync wal.log: input/output error")
+	s.latch(cause)
+	if err := s.Failed(); !errors.Is(err, cause) {
+		t.Fatalf("Failed() = %v, want %v", err, cause)
+	}
+	err := s.LogAnnotations([]relation.AnnotationUpdate{{Index: 4, Annotation: a1}}, false)
+	if err == nil || !errors.Is(err, cause) {
+		t.Fatalf("append after latch: err = %v, want wrapped %v", err, cause)
+	}
+	if err := s.Checkpoint(); err == nil || !errors.Is(err, cause) {
+		t.Fatalf("checkpoint after latch: err = %v, want wrapped %v", err, cause)
+	}
+}

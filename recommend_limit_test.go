@@ -1,0 +1,105 @@
+package annotadb
+
+import (
+	"testing"
+)
+
+// limitDataset yields exactly four recommendations for tuple 8 — v1
+// implies Annot_a:x .. Annot_d:x at confidence and support 0.8 — with the
+// four families hashing across shards, so the merged-limit semantics
+// (Limit applies after the merge, PR 4's fix) are observable.
+func limitDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds := NewDataset()
+	annots := []string{"Annot_a:x", "Annot_b:x", "Annot_c:x", "Annot_d:x"}
+	for i := 0; i < 8; i++ {
+		if _, err := ds.AddTuple([]string{"v1"}, annots); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := ds.AddTuple([]string{"v1"}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+// limitServer builds a server over limitDataset with the given shard count
+// (1 = unsharded core) and recommendation limit.
+func limitServer(t *testing.T, shards, limit int) *Server {
+	t.Helper()
+	opts := ServeOptions{BatchWindow: -1, Recommend: RecommendOptions{Limit: limit}}
+	var (
+		srv *Server
+		err error
+	)
+	if shards > 1 {
+		opts.Shards = shards
+		srv, err = NewShardedServer(limitDataset(t), testOpts(), opts)
+	} else {
+		var eng *Engine
+		eng, err = NewEngine(limitDataset(t), testOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err = NewServer(eng, opts)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { closeServer(t, srv) })
+	return srv
+}
+
+// TestRecommendLimitEdgeCasesFacade exercises Limit 0, negative, and
+// larger-than-result-set through the public facade, unsharded and sharded:
+// all three behave as unbounded, and a binding limit caps the MERGED result
+// in its deterministic order (not each shard's share).
+func TestRecommendLimitEdgeCasesFacade(t *testing.T) {
+	t.Parallel()
+	for _, shards := range []int{1, 3} {
+		shards := shards
+		baselineSrv := limitServer(t, shards, 0)
+		baseline, _, err := baselineSrv.Recommend(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(baseline) != 4 {
+			t.Fatalf("shards=%d: unbounded baseline has %d recommendations, want 4", shards, len(baseline))
+		}
+		for _, tc := range []struct {
+			name  string
+			limit int
+			want  int
+		}{
+			{"zero", 0, 4},
+			{"negative", -3, 4},
+			{"beyond result set", 50, 4},
+			{"binding merged", 2, 2},
+		} {
+			srv := limitServer(t, shards, tc.limit)
+			recs, _, err := srv.Recommend(8)
+			if err != nil {
+				t.Fatalf("shards=%d %s: %v", shards, tc.name, err)
+			}
+			if len(recs) != tc.want {
+				t.Fatalf("shards=%d %s: %d recommendations, want %d", shards, tc.name, len(recs), tc.want)
+			}
+			for i, r := range recs {
+				if r.Annotation != baseline[i].Annotation {
+					t.Errorf("shards=%d %s: rec %d = %s, want baseline prefix %s",
+						shards, tc.name, i, r.Annotation, baseline[i].Annotation)
+				}
+			}
+			// The insert-trigger path obeys the same cap.
+			incoming, err := srv.RecommendForTuple(TupleSpec{Values: []string{"v1"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(incoming) != tc.want {
+				t.Errorf("shards=%d %s: RecommendForTuple returned %d, want %d", shards, tc.name, len(incoming), tc.want)
+			}
+		}
+	}
+}

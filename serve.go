@@ -15,6 +15,7 @@ import (
 	"annotadb/internal/serve"
 	"annotadb/internal/shard"
 	"annotadb/internal/storage"
+	"annotadb/internal/stream"
 	"annotadb/internal/wal"
 )
 
@@ -51,6 +52,11 @@ type ServeOptions struct {
 	// sharding section of ARCHITECTURE.md for the placement contract —
 	// annotation-to-annotation correlations are discovered within a family.
 	Shards int
+	// Stream tunes the rule-churn event stream (Server.Subscribe and
+	// GET /events): ring size, and — on a durable server — the event log's
+	// segment rotation and retention. The zero value enables the stream
+	// with defaults; set Stream.Disabled to turn it off.
+	Stream StreamOptions
 }
 
 // Server serves rules and recommendations concurrently while annotations
@@ -79,6 +85,12 @@ type Server struct {
 	// cluster is the sharded durable backing store (nil otherwise).
 	cluster     *shard.Cluster
 	storeClosed atomic.Bool
+
+	// stream is the rule-churn broker (nil when disabled); eventLog is its
+	// durable segment log (nil for in-memory servers). Close closes both
+	// after the writers have drained.
+	stream   *stream.Broker
+	eventLog *wal.SegmentedLog
 
 	// rendered memoizes the token-rendered rules of one snapshot, so that
 	// serving GET /rules-style reads does not re-resolve dictionary tokens
@@ -121,15 +133,22 @@ func NewServer(e *Engine, opts ServeOptions) (*Server, error) {
 		if opts.Shards > 0 && opts.Shards != len(e.cluster.Stores()) {
 			return nil, fmt.Errorf("annotadb: ServeOptions.Shards = %d but the durable cluster holds %d shards", opts.Shards, len(e.cluster.Stores()))
 		}
-		router, err := shard.FromEngines(e.cluster.Engines(), shard.Config{
-			Shards:   len(e.cluster.Stores()),
-			Serve:    opts.internal(),
-			Journals: e.cluster.Journals(),
-		})
+		broker, eventLog, err := newStream(opts.Stream, e.cluster.Dir(), len(e.cluster.Stores()))
 		if err != nil {
 			return nil, err
 		}
-		return &Server{router: router, cluster: e.cluster}, nil
+		router, err := shard.FromEngines(e.cluster.Engines(), shardStreamConfig(shard.Config{
+			Shards:   len(e.cluster.Stores()),
+			Serve:    opts.internal(),
+			Journals: e.cluster.Journals(),
+		}, broker))
+		if err != nil {
+			if broker != nil {
+				broker.Close()
+			}
+			return nil, err
+		}
+		return &Server{router: router, cluster: e.cluster, stream: broker, eventLog: eventLog}, nil
 	}
 	if opts.Shards > 1 {
 		if e.store != nil {
@@ -141,13 +160,24 @@ func NewServer(e *Engine, opts ServeOptions) (*Server, error) {
 		return newShardedInMemory(e.ds, e.eng.Config(), opts)
 	}
 	cfg := opts.internal()
+	dir := ""
 	if e.store != nil {
 		cfg.Journal = e.store
+		dir = e.store.Dir()
+	}
+	broker, eventLog, err := newStream(opts.Stream, dir, 1)
+	if err != nil {
+		return nil, err
+	}
+	if broker != nil {
+		cfg.Stream = stream.NewPublisher(broker, 0, e.ds.rel.Dictionary())
 	}
 	return &Server{
-		ds:    e.ds,
-		core:  serve.New(e.eng, cfg),
-		store: e.store,
+		ds:       e.ds,
+		core:     serve.New(e.eng, cfg),
+		store:    e.store,
+		stream:   broker,
+		eventLog: eventLog,
 	}, nil
 }
 
@@ -166,16 +196,27 @@ func NewShardedServer(d *Dataset, opts Options, sopts ServeOptions) (*Server, er
 
 func newShardedInMemory(d *Dataset, cfg mining.Config, sopts ServeOptions) (*Server, error) {
 	eopts := incremental.Options{DisableCandidateStore: cfg.CandidateSlack >= 1}
-	router, err := shard.NewRouter(d.rel, func(rel *relation.Relation) (*incremental.Engine, error) {
-		return incremental.New(rel, cfg, eopts)
-	}, shard.Config{
-		Shards: sopts.Shards,
-		Serve:  sopts.internal(),
-	})
+	shards := sopts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	broker, _, err := newStream(sopts.Stream, "", shards)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{router: router}, nil
+	router, err := shard.NewRouter(d.rel, func(rel *relation.Relation) (*incremental.Engine, error) {
+		return incremental.New(rel, cfg, eopts)
+	}, shardStreamConfig(shard.Config{
+		Shards: sopts.Shards,
+		Serve:  sopts.internal(),
+	}, broker))
+	if err != nil {
+		if broker != nil {
+			broker.Close()
+		}
+		return nil, err
+	}
+	return &Server{router: router, stream: broker}, nil
 }
 
 func (o ServeOptions) internal() serve.Config {
@@ -207,6 +248,9 @@ func (s *Server) Close(ctx context.Context) error {
 	if s.router != nil {
 		err := s.router.Close(ctx)
 		if s.cluster == nil || err != nil {
+			if err == nil {
+				err = s.closeStream()
+			}
 			return err
 		}
 		if !s.storeClosed.CompareAndSwap(false, true) {
@@ -218,6 +262,12 @@ func (s *Server) Close(ctx context.Context) error {
 		if closeErr := s.cluster.Close(); closeErr != nil && err == nil {
 			err = closeErr
 		}
+		// The writers have drained: the event stream is complete, so the
+		// broker can seal its segment log (subscribers finish draining and
+		// their channels close).
+		if streamErr := s.closeStream(); streamErr != nil && err == nil {
+			err = streamErr
+		}
 		return err
 	}
 	err := s.core.Close(ctx)
@@ -225,6 +275,9 @@ func (s *Server) Close(ctx context.Context) error {
 		// On a drain timeout the writer may still be running; leave the
 		// store to it — every applied batch is already in the synced log,
 		// so recovery replays it. Only a clean drain may checkpoint.
+		if err == nil {
+			err = s.closeStream()
+		}
 		return err
 	}
 	if !s.storeClosed.CompareAndSwap(false, true) {
@@ -238,7 +291,19 @@ func (s *Server) Close(ctx context.Context) error {
 	if closeErr := s.store.Close(); closeErr != nil && err == nil {
 		err = closeErr
 	}
+	if streamErr := s.closeStream(); streamErr != nil && err == nil {
+		err = streamErr
+	}
 	return err
+}
+
+// closeStream closes the churn broker (and its segment log). Idempotent;
+// called only after the writer loops have drained.
+func (s *Server) closeStream() error {
+	if s.stream == nil {
+		return nil
+	}
+	return s.stream.Close()
 }
 
 // Dataset returns the served dataset (treat as read-only), or nil for a
