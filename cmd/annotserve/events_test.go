@@ -84,6 +84,51 @@ func TestHealthzDegradedOnLatchedFailures(t *testing.T) {
 			t.Errorf("latched probe reason = %q, want the fsync cause", body["reason"])
 		}
 	})
+	t.Run("journal checkpoint pipeline latched", func(t *testing.T) {
+		latched := fmt.Errorf("annotadb: serve: journal checkpoint pipeline failing: write checkpoint.db: no space left on device")
+		code, body := probe(t, func() error { return latched })
+		if code != http.StatusServiceUnavailable || body["status"] != "degraded" {
+			t.Errorf("latched probe = %d %v, want 503 degraded", code, body)
+		}
+		if !strings.Contains(body["reason"], "journal checkpoint pipeline failing") {
+			t.Errorf("latched probe reason = %q, want the checkpoint cause", body["reason"])
+		}
+	})
+}
+
+// TestOverloadedWriteMapsTo429 pins the backpressure wire contract: a write
+// shed by the admission queue answers 429 with a Retry-After hint and the
+// structured-error body schema, distinct from the 503 availability and 500
+// journal paths.
+func TestOverloadedWriteMapsTo429(t *testing.T) {
+	t.Parallel()
+	rec := httptest.NewRecorder()
+	writeUpdateError(rec, fmt.Errorf("annotadb: %w", annotadb.ErrOverloaded))
+
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want %q", got, "1")
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var body struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("429 body is not the structured-error schema: %v\n%s", err, rec.Body.Bytes())
+	}
+	if body.Error.Code != "overloaded" {
+		t.Errorf("error code = %q, want overloaded", body.Error.Code)
+	}
+	if !strings.Contains(body.Error.Message, "overloaded") {
+		t.Errorf("error message = %q, want the shed cause", body.Error.Message)
+	}
 }
 
 // --- /events SSE ----------------------------------------------------------

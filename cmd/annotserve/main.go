@@ -11,8 +11,9 @@
 //
 //	annotserve -data dataset.txt [-addr :8080] [-min-support 0.4]
 //	           [-min-confidence 0.8] [-algorithm apriori]
-//	           [-batch-window 1ms] [-shards 4]
+//	           [-batch-window 1ms] [-queue-depth 256] [-shards 4]
 //	           [-data-dir ./annotdata] [-fsync always]
+//	           [-flush-window 1ms] [-max-group-bytes 1048576]
 //	           [-checkpoint-bytes 4194304] [-checkpoint-age 0]
 //
 // With -data-dir the serving state is durable: every update batch is
@@ -101,6 +102,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		minConfidence = fs.Float64("min-confidence", 0.8, "minimum rule confidence β")
 		algorithm     = fs.String("algorithm", "apriori", "mining algorithm: apriori or fpgrowth")
 		batchWindow   = fs.Duration("batch-window", time.Millisecond, "how long the writer lingers to coalesce concurrent update batches")
+		queueDepth    = fs.Int("queue-depth", 0, "bounded admission queue depth per writer; a full queue sheds writes with 429 after one batch window (0 = default)")
 		recMinConf    = fs.Float64("rec-min-confidence", 0, "extra confidence filter on recommendation rules")
 		recMinSup     = fs.Float64("rec-min-support", 0, "extra support filter on recommendation rules")
 		recLimit      = fs.Int("rec-limit", 0, "cap recommendations per query (0 = unbounded)")
@@ -109,6 +111,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		shards        = fs.Int("shards", 1, "partition the write path into this many annotation-family shards (parallel writers; pinned by the durable manifest)")
 		fsyncPolicy   = fs.String("fsync", "always", "WAL fsync policy: always, interval, or never")
 		fsyncInterval = fs.Duration("fsync-interval", 0, "fsync cadence under -fsync interval (0 = 100ms)")
+		flushWindow   = fs.Duration("flush-window", 0, "WAL group-commit window under -fsync always: one fsync covers every batch in the window; acks still wait for it (0 = off, negative = group commit without linger); also the durable event log's background flush cadence")
+		maxGroupBytes = fs.Int64("max-group-bytes", 0, "force the group-commit fsync once this many unsynced bytes accumulate (0 = 1MiB, negative uncaps)")
 		ckptBytes     = fs.Int64("checkpoint-bytes", 0, "checkpoint when the WAL reaches this size (0 = 4MiB, negative disables)")
 		ckptAge       = fs.Duration("checkpoint-age", 0, "checkpoint when the oldest un-checkpointed record is this old (0 disables)")
 		walEncoding   = fs.String("wal-encoding", "binary", "WAL record encoding: binary or json")
@@ -139,6 +143,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	sopts := annotadb.ServeOptions{
 		BatchWindow: *batchWindow,
+		QueueDepth:  *queueDepth,
 		Shards:      *shards,
 		Recommend: annotadb.RecommendOptions{
 			MinConfidence: *recMinConf,
@@ -150,6 +155,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			Ring:           *eventRing,
 			SegmentBytes:   *eventSegBytes,
 			RetainSegments: *eventRetain,
+			FlushWindow:    *flushWindow,
 		},
 	}
 	var (
@@ -166,6 +172,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			Shards:          *shards,
 			Fsync:           *fsyncPolicy,
 			FsyncInterval:   *fsyncInterval,
+			FlushWindow:     *flushWindow,
+			MaxGroupBytes:   *maxGroupBytes,
 			CheckpointBytes: *ckptBytes,
 			CheckpointAge:   *ckptAge,
 			Encoding:        *walEncoding,
@@ -364,6 +372,7 @@ const (
 	codeTooLarge        = "payload_too_large" // 413: body over the byte budget
 	codeInternal        = "internal"          // 500: server-side write failure (e.g. WAL disk); retryable
 	codeUnavailable     = "unavailable"       // 503: shutting down / request canceled
+	codeOverloaded      = "overloaded"        // 429: admission queue full; retry after backing off
 )
 
 // errorJSON is the wire form of the structured error schema.
@@ -378,14 +387,21 @@ func writeError(w http.ResponseWriter, status int, code string, err error) {
 
 // writeUpdateError maps write-path failures to statuses: shutdown and
 // cancellation are availability problems (503, safe to retry elsewhere),
-// a journal failure is a server-side fault (500, the request was valid and
-// may be retried), and everything else is a request defect (400).
+// an overloaded admission queue is backpressure (429 with a Retry-After
+// hint — the write was shed, not applied), a journal failure is a
+// server-side fault (500, the request was valid and may be retried), and
+// everything else is a request defect (400).
 func writeUpdateError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, annotadb.ErrServerClosed),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusServiceUnavailable, codeUnavailable, err)
+	case errors.Is(err, annotadb.ErrOverloaded):
+		// The queue stayed full for a whole batch window; one second is
+		// enough for the writer to drain hundreds of windows' worth.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, codeOverloaded, err)
 	case errors.Is(err, annotadb.ErrJournal):
 		writeError(w, http.StatusInternalServerError, codeInternal, err)
 	default:
@@ -566,9 +582,19 @@ func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 		"batches":              st.Batches,
 		"coalesced":            st.Coalesced,
 		"reads":                st.Reads,
+		"shed":                 st.Shed,
 		"remines":              st.Remines,
 		"attachments":          st.Attachments,
 		"distinct_annotations": st.DistinctAnnotations,
+		// Per-stage write latency digests: queue wait (admission to apply),
+		// engine apply, covering group-commit fsync wait (zero counts unless
+		// -flush-window group commit is on), and snapshot publish.
+		"latency": map[string]any{
+			"queue":   stageJSON(st.Latency.Queue),
+			"apply":   stageJSON(st.Latency.Apply),
+			"fsync":   stageJSON(st.Latency.Fsync),
+			"publish": stageJSON(st.Latency.Publish),
+		},
 	}
 	if st.Shards > 0 {
 		// Sharded: the merged generation's identity plus a per-shard
@@ -592,6 +618,7 @@ func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 				"batches":              ss.Batches,
 				"coalesced":            ss.Coalesced,
 				"reads":                ss.Reads,
+				"shed":                 ss.Shed,
 				"remines":              ss.Remines,
 			}
 		}
@@ -617,6 +644,8 @@ func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 			"records_appended":     d.RecordsAppended,
 			"log_bytes":            d.LogBytes,
 			"syncs":                d.Syncs,
+			"unsynced_records":     d.UnsyncedRecords,
+			"unsynced_bytes":       d.UnsyncedBytes,
 			"checkpoints":          d.Checkpoints,
 			"checkpoint_errors":    d.CheckpointErrors,
 			"recovered":            d.Recovery.FromCheckpoint,
@@ -637,6 +666,8 @@ func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 					"records_appended":  ss.RecordsAppended,
 					"log_bytes":         ss.LogBytes,
 					"syncs":             ss.Syncs,
+					"unsynced_records":  ss.UnsyncedRecords,
+					"unsynced_bytes":    ss.UnsyncedBytes,
 					"checkpoints":       ss.Checkpoints,
 					"checkpoint_errors": ss.CheckpointErrors,
 				}
@@ -663,6 +694,18 @@ func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 		body["durability"] = durability
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// stageJSON renders one pipeline stage's latency digest (seconds, like the
+// other duration fields in /stats).
+func stageJSON(s annotadb.StageLatency) map[string]any {
+	return map[string]any{
+		"count":        s.Count,
+		"mean_seconds": s.Mean.Seconds(),
+		"p50_seconds":  s.P50.Seconds(),
+		"p99_seconds":  s.P99.Seconds(),
+		"max_seconds":  s.Max.Seconds(),
+	}
 }
 
 // healthz reports liveness and write-path health: 200 {"status":"ok"}

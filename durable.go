@@ -28,6 +28,18 @@ type DurabilityOptions struct {
 	Fsync string
 	// FsyncInterval is the cadence under Fsync "interval" (0 = 100ms).
 	FsyncInterval time.Duration
+	// FlushWindow enables group commit under Fsync "always": appends skip
+	// their inline fsync and one committer fsync covers every batch that
+	// arrived while the previous fsync was in flight — acknowledgements
+	// still wait for the covering fsync, so the durability contract is
+	// unchanged. Zero keeps the per-batch fsync (the default); positive
+	// lets the committer linger that long to absorb more batches per fsync;
+	// negative group-commits with no linger. Sharded stores run one
+	// committer per shard under the same policy.
+	FlushWindow time.Duration
+	// MaxGroupBytes caps the unsynced bytes a lingering commit group may
+	// accumulate before its fsync is forced (0 = 1 MiB, negative uncaps).
+	MaxGroupBytes int64
 	// CheckpointBytes checkpoints when the log reaches this size
 	// (0 = 4 MiB, negative disables the size policy). Sharded stores apply
 	// the policy per shard.
@@ -53,6 +65,8 @@ func (d DurabilityOptions) internal() (wal.Options, error) {
 		Dir:             d.Dir,
 		Sync:            sync,
 		SyncEvery:       d.FsyncInterval,
+		FlushWindow:     d.FlushWindow,
+		MaxGroupBytes:   d.MaxGroupBytes,
 		Encoding:        enc,
 		CheckpointBytes: d.CheckpointBytes,
 		CheckpointAge:   d.CheckpointAge,
@@ -96,11 +110,14 @@ type RecoveryReport struct {
 type ShardDurabilityStats struct {
 	// Shard is the shard index.
 	Shard int
-	// RecordsAppended, LogBytes, Syncs, Checkpoints, and CheckpointErrors
-	// mirror the top-level counters for this shard alone.
+	// RecordsAppended, LogBytes, Syncs, UnsyncedRecords, UnsyncedBytes,
+	// Checkpoints, and CheckpointErrors mirror the top-level counters for
+	// this shard alone.
 	RecordsAppended  uint64
 	LogBytes         int64
 	Syncs            uint64
+	UnsyncedRecords  int64
+	UnsyncedBytes    int64
 	Checkpoints      uint64
 	CheckpointErrors uint64
 }
@@ -113,8 +130,16 @@ type DurabilityStats struct {
 	// LogBytes is the current log size (checkpoints truncate it).
 	RecordsAppended uint64
 	LogBytes        int64
-	// Syncs counts explicit log fsyncs.
-	Syncs uint64
+	// Syncs counts explicit log fsyncs. UnsyncedRecords and UnsyncedBytes
+	// measure the current crash window: appended records whose covering
+	// fsync has not completed yet (conservative — a record appended while a
+	// sync is in flight stays counted until the next one). Under Fsync
+	// "always" they are transiently non-zero only while a group commit is
+	// in flight and never cover an acknowledged write; under "interval" and
+	// "never" they bound what a crash right now could lose.
+	Syncs           uint64
+	UnsyncedRecords int64
+	UnsyncedBytes   int64
 	// Checkpoints and CheckpointErrors count checkpoint attempts since the
 	// store opened; LastCheckpointUnixNano is the newest one's wall time
 	// (0 = none this run).
@@ -246,6 +271,8 @@ func (s *Server) Durability() *DurabilityStats {
 			out.RecordsAppended += st.Records
 			out.LogBytes += st.LogBytes
 			out.Syncs += st.Syncs
+			out.UnsyncedRecords += st.UnsyncedRecords
+			out.UnsyncedBytes += st.UnsyncedBytes
 			out.Checkpoints += st.Checkpoints
 			out.CheckpointErrors += st.CheckpointErrors
 			if st.LastCheckpointUnixNano > out.LastCheckpointUnixNano {
@@ -256,6 +283,8 @@ func (s *Server) Durability() *DurabilityStats {
 				RecordsAppended:  st.Records,
 				LogBytes:         st.LogBytes,
 				Syncs:            st.Syncs,
+				UnsyncedRecords:  st.UnsyncedRecords,
+				UnsyncedBytes:    st.UnsyncedBytes,
 				Checkpoints:      st.Checkpoints,
 				CheckpointErrors: st.CheckpointErrors,
 			})
@@ -270,6 +299,8 @@ func (s *Server) Durability() *DurabilityStats {
 		RecordsAppended:        st.Records,
 		LogBytes:               st.LogBytes,
 		Syncs:                  st.Syncs,
+		UnsyncedRecords:        st.UnsyncedRecords,
+		UnsyncedBytes:          st.UnsyncedBytes,
 		Checkpoints:            st.Checkpoints,
 		CheckpointErrors:       st.CheckpointErrors,
 		LastCheckpointUnixNano: st.LastCheckpointUnixNano,

@@ -25,6 +25,7 @@ var lintedPackages = []string{
 	"internal/generalize",
 	"internal/incremental",
 	"internal/itemset",
+	"internal/metrics",
 	"internal/mining",
 	"internal/predict",
 	"internal/relation",

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose upper bound is >= the value
+	// and within ~25% of it, and bucket indexes must be monotone.
+	values := []int64{0, 1, 2, 3, 4, 5, 7, 8, 100, 999, 1000, 12345,
+		int64(time.Millisecond), int64(time.Second), int64(time.Hour),
+		math.MaxInt64}
+	prev := -1
+	for _, v := range values {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous index %d: not monotone", v, i, prev)
+		}
+		prev = i
+		upper := bucketUpper(i)
+		if upper < v {
+			t.Fatalf("bucketUpper(%d) = %d < value %d", i, upper, v)
+		}
+		if v >= 4 && float64(upper-v) > 0.25*float64(v) {
+			t.Fatalf("bucket upper %d overestimates %d by more than 25%%", upper, v)
+		}
+	}
+}
+
+func TestBucketIndexContiguous(t *testing.T) {
+	// Walking v upward never skips backward and covers indexes densely
+	// through the small range.
+	prev := bucketIndex(0)
+	for v := int64(1); v < 4096; v++ {
+		i := bucketIndex(v)
+		if i < prev || i > prev+1 {
+			t.Fatalf("bucketIndex(%d) = %d after %d: not contiguous", v, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestSummaryQuantiles(t *testing.T) {
+	var h Histogram
+	if s := h.Summary(); s.Count != 0 || s.P50 != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("zero histogram summary = %+v, want all zero", s)
+	}
+	// 100 observations: 1ms ... 100ms.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Fatalf("Max = %v, want 100ms", s.Max)
+	}
+	// P50 must cover the 50th observation (50ms) without huge overestimate.
+	if s.P50 < 50*time.Millisecond || s.P50 > 70*time.Millisecond {
+		t.Fatalf("P50 = %v, want within [50ms, 70ms]", s.P50)
+	}
+	if s.P99 < 99*time.Millisecond || s.P99 > 128*time.Millisecond {
+		t.Fatalf("P99 = %v, want within [99ms, 128ms]", s.P99)
+	}
+	if s.Mean < 40*time.Millisecond || s.Mean > 60*time.Millisecond {
+		t.Fatalf("Mean = %v, want ~50.5ms", s.Mean)
+	}
+}
+
+func TestObserveNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	s := h.Summary()
+	if s.Count != 1 || s.Max != 0 {
+		t.Fatalf("negative observation: summary = %+v, want Count 1 Max 0", s)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*per+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Summary()
+	if s.Count != workers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*per)
+	}
+	want := time.Duration(workers*per-1) * time.Microsecond
+	if s.Max != want {
+		t.Fatalf("Max = %v, want %v", s.Max, want)
+	}
+}

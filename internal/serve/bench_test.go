@@ -4,10 +4,12 @@ import (
 	"context"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"annotadb/internal/incremental"
 	"annotadb/internal/mining"
 	"annotadb/internal/relation"
+	"annotadb/internal/wal"
 )
 
 // Benchmarks demonstrating the serving core's read-path property: readers
@@ -127,6 +129,80 @@ func BenchmarkEngineRulesBaseline(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchDurableServer builds the group-commit acceptance world: an 8K-tuple
+// relation behind a real WAL store with Fsync-per-record durability, served
+// with small batches so the fsync policy — not coalescing — is what the
+// benchmark measures.
+func benchDurableServer(b *testing.B, flushWindow time.Duration) (*Server, *relation.Relation) {
+	b.Helper()
+	rel, _ := buildWorld(17, 8000)
+	store, err := wal.Open(wal.Options{
+		Dir:         b.TempDir(),
+		Sync:        wal.SyncAlways,
+		FlushWindow: flushWindow,
+	}, mining.Config{MinSupport: 0.15, MinConfidence: 0.5, Parallelism: 1}, incremental.Options{}, func() (*relation.Relation, error) {
+		return rel, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(store.Engine(), Config{BatchWindow: -1, MaxBatch: 8, QueueDepth: 4096, Journal: store})
+	b.Cleanup(func() {
+		// Server first: outstanding seal tickets need the store's committer.
+		if err := s.Close(context.Background()); err != nil {
+			b.Error(err)
+		}
+		if err := store.Close(); err != nil {
+			b.Error(err)
+		}
+	})
+	return s, rel
+}
+
+// BenchmarkGroupCommit is the tentpole acceptance benchmark: sustained
+// fsync'd writes/sec on the 8K workload, per-batch fsync (FlushWindow 0,
+// the legacy inline policy) against group commit (FlushWindow < 0: no
+// linger, one fsync covers every batch sealed while the previous fsync was
+// in flight). Both run SyncAlways with identical batching, so the ratio
+// isolates the commit policy; the group-commit variant must sustain ≥5×.
+func BenchmarkGroupCommit(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		window time.Duration
+	}{
+		{"fsync-per-batch", 0},
+		{"group-commit", -1},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			s, rel := benchDurableServer(b, bc.window)
+			a := relation.MustAnnotation(rel.Dictionary(), "Annot_A")
+			n := rel.Len()
+			ctx := context.Background()
+			var ctr atomic.Uint64
+			b.SetParallelism(16) // enough in-flight writers to queue batches behind a sync
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := ctr.Add(1)
+					idx := int(i) % n
+					var err error
+					if i%2 == 0 {
+						_, err = s.AddAnnotations(ctx, []relation.AnnotationUpdate{{Index: idx, Annotation: a}})
+					} else {
+						_, err = s.RemoveAnnotations(ctx, []relation.AnnotationUpdate{{Index: idx, Annotation: a}})
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "writes/sec")
+		})
+	}
 }
 
 // BenchmarkWriteThroughput measures coalesced write commits: many

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"annotadb/internal/incremental"
+	"annotadb/internal/metrics"
 	"annotadb/internal/predict"
 	"annotadb/internal/relation"
 	"annotadb/internal/rules"
@@ -37,6 +38,13 @@ var ErrClosed = errors.New("serve: server closed")
 // transports should map it to a server-side failure status, not a
 // bad-request one.
 var ErrJournal = errors.New("serve: journal failure")
+
+// ErrOverloaded is returned by write methods when the admission queue is
+// full and no slot opened within one batch window: the writer is saturated
+// and queueing longer would only grow every client's latency. The request
+// was not admitted and had no effect; clients should back off and retry.
+// Transports map it to 429 Too Many Requests with a Retry-After hint.
+var ErrOverloaded = errors.New("serve: overloaded, admission queue full")
 
 // Default tuning values; see Config.
 const (
@@ -67,6 +75,61 @@ type Journal interface {
 	Committed() error
 }
 
+// GroupJournal is a Journal whose appends may defer their fsync to a group
+// committer (the wal package's Store with a flush window configured). After
+// applying and publishing a coalesced batch the writer calls Seal instead of
+// assuming the appends are already durable:
+//
+//   - a nil return means every record logged so far is durable at return
+//     (group commit off, or a sync policy that never gates acks on fsync) —
+//     the writer acknowledges waiters inline, exactly as with a plain
+//     Journal;
+//   - a non-nil ticket resolves with one value once a single covering fsync
+//     has made every record logged before the Seal call durable (nil), or
+//     with the sync error that latched the journal. The writer hands the
+//     batch's acknowledgements to its acker goroutine keyed on the ticket
+//     and immediately starts collecting the next batch, so the fsync of
+//     batch n overlaps the application of batch n+1 — the group-commit
+//     pipeline.
+//
+// Seal is called from the single writer goroutine only.
+type GroupJournal interface {
+	Journal
+	Seal() <-chan error
+}
+
+// Latency aggregates the write path's per-stage latency histograms: queue
+// wait (submit accepted to batch collection), apply (one journaled engine
+// application), fsync (seal to covering group-commit fsync; empty unless
+// the journal group-commits), and publish (snapshot capture + rule compile).
+// A zero Latency is ready to use. Share one instance across the per-shard
+// serving cores of a sharded router (Config.Latency) to get merged numbers.
+type Latency struct {
+	Queue   metrics.Histogram
+	Apply   metrics.Histogram
+	Fsync   metrics.Histogram
+	Publish metrics.Histogram
+}
+
+// Stats digests every stage histogram at once.
+func (l *Latency) Stats() LatencyStats {
+	return LatencyStats{
+		Queue:   l.Queue.Summary(),
+		Apply:   l.Apply.Summary(),
+		Fsync:   l.Fsync.Summary(),
+		Publish: l.Publish.Summary(),
+	}
+}
+
+// LatencyStats is a point-in-time digest of Latency, one summary per
+// pipeline stage.
+type LatencyStats struct {
+	Queue   metrics.Summary
+	Apply   metrics.Summary
+	Fsync   metrics.Summary
+	Publish metrics.Summary
+}
+
 // Config tunes the serving core.
 type Config struct {
 	// BatchWindow is how long the writer waits after the first pending
@@ -78,10 +141,16 @@ type Config struct {
 	// attachments or tuples) coalesced into one engine application.
 	// Zero means DefaultMaxBatch.
 	MaxBatch int
-	// QueueDepth is the capacity of the pending-request channel; writers
-	// block (or honor their context) when it is full. Zero means
-	// DefaultQueueDepth.
+	// QueueDepth is the capacity of the pending-request channel. A writer
+	// that finds it full waits at most one batch window for a slot, then
+	// fails with ErrOverloaded — bounded admission instead of unbounded
+	// queueing. Zero means DefaultQueueDepth.
 	QueueDepth int
+	// Latency, when non-nil, is the per-stage latency recorder the writer
+	// observes into; share one instance across shards for merged numbers.
+	// Nil makes the server allocate a private one (Stats reports it either
+	// way).
+	Latency *Latency
 	// Recommend filters the rules compiled into each snapshot's
 	// recommendation evaluator.
 	Recommend predict.Options
@@ -147,10 +216,11 @@ type result struct {
 }
 
 type request struct {
-	kind    opKind
-	updates []relation.AnnotationUpdate // opAnnotations, opRemovals
-	tuples  []relation.Tuple            // opTuples
-	done    chan result                 // buffered(1); writer never blocks
+	kind     opKind
+	updates  []relation.AnnotationUpdate // opAnnotations, opRemovals
+	tuples   []relation.Tuple            // opTuples
+	done     chan result                 // buffered(1); writer never blocks
+	enqueued time.Time                   // when submit stamped it (queue-wait metric)
 }
 
 func (r *request) size() int {
@@ -173,28 +243,59 @@ type Server struct {
 
 	reqs chan *request
 	quit chan struct{} // closed by Close
-	done chan struct{} // closed when the writer loop has drained and exited
+	done chan struct{} // closed when the writer loop AND the acker have drained
+
+	// acks carries batches whose acknowledgements wait on a group-commit
+	// fsync ticket from the writer to the acker goroutine; ackDone closes
+	// when the acker has delivered everything.
+	acks    chan pendingAck
+	ackDone chan struct{}
+
+	lat *Latency
 
 	closeOnce sync.Once
 
 	// counters
 	requests    atomic.Uint64 // write requests accepted into the queue
+	shed        atomic.Uint64 // write requests refused with ErrOverloaded
 	batches     atomic.Uint64 // engine applications
 	coalesced   atomic.Uint64 // requests that shared an application with another
 	reads       atomic.Uint64 // snapshot loads
 	journalErrs atomic.Uint64 // journal failures (failed groups + Committed errors)
+
+	// commitErr latches the journal's most recent Committed failure until
+	// the next Committed succeeds, so health probes surface a checkpoint
+	// pipeline that silently stopped installing (a counter alone cannot
+	// distinguish "failed once, recovered" from "failing every time").
+	commitErr atomic.Pointer[error]
+}
+
+// pendingAck is one applied-and-published batch whose waiters are
+// acknowledged only after its group-commit fsync ticket resolves.
+type pendingAck struct {
+	groups  [][]*request
+	results []result
+	ticket  <-chan error
+	sealed  time.Time
 }
 
 // New wraps eng in a serving core and starts its writer loop. The initial
 // snapshot is published before New returns, so reads are immediately valid.
 func New(eng *incremental.Engine, cfg Config) *Server {
+	lat := cfg.Latency
+	if lat == nil {
+		lat = &Latency{}
+	}
 	s := &Server{
-		eng:  eng,
-		rel:  eng.Relation(),
-		cfg:  cfg,
-		reqs: make(chan *request, cfg.queueDepth()),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
+		eng:     eng,
+		rel:     eng.Relation(),
+		cfg:     cfg,
+		reqs:    make(chan *request, cfg.queueDepth()),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		acks:    make(chan pendingAck, cfg.queueDepth()),
+		ackDone: make(chan struct{}),
+		lat:     lat,
 	}
 	s.publish()
 	go s.run()
@@ -271,12 +372,17 @@ type Stats struct {
 	DistinctAnnotations int
 	// Server counters.
 	Requests  uint64 // write requests accepted
+	Shed      uint64 // write requests refused with ErrOverloaded
 	Batches   uint64 // engine applications after coalescing
 	Coalesced uint64 // requests that shared an application
 	Reads     uint64 // snapshot loads served
 	// JournalErrors counts journal failures: groups rejected because their
 	// write-ahead log append failed, plus post-publish Committed errors.
 	JournalErrors uint64
+	// Latency digests the write path's per-stage histograms. On a sharded
+	// server every shard observes into one shared recorder, so the digest
+	// is already merged.
+	Latency LatencyStats
 	// Engine lifetime counters as of the snapshot.
 	Engine incremental.Stats
 }
@@ -298,12 +404,27 @@ func (s *Server) Stats() Stats {
 		Attachments:         snap.Attachments,
 		DistinctAnnotations: snap.DistinctAnnotations,
 		Requests:            s.requests.Load(),
+		Shed:                s.shed.Load(),
 		Batches:             s.batches.Load(),
 		Coalesced:           s.coalesced.Load(),
 		Reads:               s.reads.Load(),
 		JournalErrors:       s.journalErrs.Load(),
+		Latency:             s.lat.Stats(),
 		Engine:              snap.EngineStats,
 	}
+}
+
+// JournalErr reports the journal's latched Committed failure: non-nil from
+// the moment a post-publish Committed call fails until the next one
+// succeeds. Acknowledged writes are unaffected (their records are in the
+// durable log), but checkpoints have stopped installing, so recovery cost
+// grows without bound — health probes surface this as degraded. Safe from
+// any goroutine.
+func (s *Server) JournalErr() error {
+	if p := s.commitErr.Load(); p != nil {
+		return fmt.Errorf("serve: journal checkpoint pipeline failing: %w", *p)
+	}
+	return nil
 }
 
 // --- write path ----------------------------------------------------------
@@ -360,12 +481,21 @@ func (s *Server) submit(ctx context.Context, req *request) (*incremental.Report,
 		return &incremental.Report{Case: req.kind.reportCase()}, nil
 	}
 	req.done = make(chan result, 1)
+	req.enqueued = time.Now()
 	select {
 	case <-s.quit:
 		return nil, ErrClosed
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case s.reqs <- req:
+	default:
+		// Queue full. The writer drains a full queue in about one collect
+		// pass, so wait at most one batch window for a slot; a queue still
+		// full after that is saturation, not a momentary burst — shed the
+		// request instead of queueing into ever-growing latency.
+		if err := s.admit(ctx, req); err != nil {
+			return nil, err
+		}
 	}
 	s.requests.Add(1)
 	select {
@@ -387,10 +517,41 @@ func (s *Server) submit(ctx context.Context, req *request) (*incremental.Report,
 	}
 }
 
+// admit waits up to one batch window for a queue slot, then sheds with
+// ErrOverloaded. Called by submit only after a non-blocking send failed.
+func (s *Server) admit(ctx context.Context, req *request) error {
+	window := s.cfg.batchWindow()
+	if window <= 0 {
+		s.shed.Add(1)
+		return ErrOverloaded
+	}
+	deadline := time.NewTimer(window)
+	defer deadline.Stop()
+	select {
+	case <-s.quit:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	case s.reqs <- req:
+		return nil
+	case <-deadline.C:
+		s.shed.Add(1)
+		return ErrOverloaded
+	}
+}
+
 // --- writer loop ---------------------------------------------------------
 
 func (s *Server) run() {
-	defer close(s.done)
+	go s.ackLoop()
+	defer func() {
+		// Every admitted request has been applied (drain ran) and its ack
+		// handed off; let the acker deliver the tail before s.done declares
+		// the server fully drained.
+		close(s.acks)
+		<-s.ackDone
+		close(s.done)
+	}()
 	for {
 		select {
 		case req := <-s.reqs:
@@ -398,6 +559,39 @@ func (s *Server) run() {
 		case <-s.quit:
 			s.drain()
 			return
+		}
+	}
+}
+
+// ackLoop delivers deferred acknowledgements in batch order once each
+// batch's group-commit fsync ticket resolves. Running it off the writer
+// goroutine is what pipelines the commit: the writer starts collecting and
+// applying batch n+1 while batch n waits for its covering fsync here.
+func (s *Server) ackLoop() {
+	defer close(s.ackDone)
+	for p := range s.acks {
+		err := <-p.ticket
+		s.lat.Fsync.Observe(time.Since(p.sealed))
+		if err != nil {
+			s.journalErrs.Add(1)
+			err = fmt.Errorf("%w: %w", ErrJournal, err)
+		}
+		s.deliver(p, err)
+	}
+}
+
+// deliver acknowledges every waiter of one batch. A sync failure overrides
+// the per-group results: the batch was applied and published, but its
+// records never became durable, so acking success would break the
+// acknowledged-implies-recoverable contract.
+func (s *Server) deliver(p pendingAck, syncErr error) {
+	for gi, group := range p.groups {
+		res := p.results[gi]
+		if syncErr != nil && res.err == nil {
+			res = result{err: syncErr}
+		}
+		for _, r := range group {
+			r.done <- res
 		}
 	}
 }
@@ -456,6 +650,10 @@ func (s *Server) drain() {
 // published before any waiter is answered: an acknowledged write is
 // guaranteed visible to the writer's next snapshot read (read-your-writes).
 func (s *Server) apply(batch []*request) {
+	now := time.Now()
+	for _, r := range batch {
+		s.lat.Queue.Observe(now.Sub(r.enqueued))
+	}
 	results := make([]result, 0, len(batch))
 	groups := make([][]*request, 0, len(batch))
 	for i := 0; i < len(batch); {
@@ -465,21 +663,51 @@ func (s *Server) apply(batch []*request) {
 		}
 		group := batch[i:j]
 		groups = append(groups, group)
+		applyStart := time.Now()
 		results = append(results, s.applyGroup(batch[i].kind, group))
+		s.lat.Apply.Observe(time.Since(applyStart))
 		i = j
 	}
+	pubStart := time.Now()
 	s.publish()
-	for gi, group := range groups {
-		for _, r := range group {
-			r.done <- results[gi]
+	s.lat.Publish.Observe(time.Since(pubStart))
+	// Acknowledge. A group-committing journal returns a seal ticket: the
+	// batch's acks then wait (on the acker goroutine) for the covering
+	// fsync while this writer moves on to the next batch — the pipeline
+	// that lets one fsync cover every batch applied while the previous
+	// fsync was in flight. A nil ticket means the appends are already as
+	// durable as the policy promises: ack inline, exactly as before.
+	var ticket <-chan error
+	if gj, ok := s.cfg.Journal.(GroupJournal); ok {
+		ticket = gj.Seal()
+	}
+	if ticket == nil {
+		s.deliver(pendingAck{groups: groups, results: results}, nil)
+	} else {
+		p := pendingAck{groups: groups, results: results, ticket: ticket, sealed: time.Now()}
+		select {
+		case err := <-p.ticket:
+			// Already resolved (the committer was idle and synced at once):
+			// skip the acker hop.
+			s.lat.Fsync.Observe(time.Since(p.sealed))
+			if err != nil {
+				s.journalErrs.Add(1)
+				err = fmt.Errorf("%w: %w", ErrJournal, err)
+			}
+			s.deliver(p, err)
+		default:
+			s.acks <- p
 		}
 	}
-	// After the acks: Committed may trigger a checkpoint (a full state
-	// serialize + fsync), and waiters whose records are already in the log
-	// should not sit through it.
+	// After the acks are handed off: Committed may trigger a checkpoint (a
+	// full state serialize + fsync), and waiters whose records are already
+	// in the log should not sit through it.
 	if s.cfg.Journal != nil {
 		if err := s.cfg.Journal.Committed(); err != nil {
 			s.journalErrs.Add(1)
+			s.commitErr.Store(&err)
+		} else {
+			s.commitErr.Store(nil)
 		}
 	}
 }

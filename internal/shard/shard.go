@@ -188,6 +188,18 @@ func (r *Router) Err() error {
 // writeAllowed reports the latched failure, if any.
 func (r *Router) writeAllowed() error { return r.Err() }
 
+// JournalErr reports the first shard whose checkpoint pipeline is failing
+// (see serve.Server.JournalErr), or nil when every shard's journal is
+// healthy. Health probes surface it alongside Err.
+func (r *Router) JournalErr() error {
+	for s, sh := range r.shards {
+		if err := sh.srv.JournalErr(); err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
 // NewRouter partitions src by annotation family into cfg.Shards relations
 // (one ProjectAll pass), mines each shard in parallel with build, and
 // starts the per-shard serving cores. src is read once; the router's
@@ -242,6 +254,13 @@ func FromEngines(engines []*incremental.Engine, cfg Config) (*Router, error) {
 		}
 	}
 	r := &Router{cfg: cfg, shards: make([]*shardState, n)}
+	// One latency recorder shared by every shard: the per-stage histograms
+	// are cross-shard aggregates (a request's stage costs don't depend on
+	// which shard served it), and sharing keeps /stats reporting one set of
+	// quantiles instead of n.
+	if cfg.Serve.Latency == nil {
+		cfg.Serve.Latency = &serve.Latency{}
+	}
 	for s, eng := range engines {
 		scfg := cfg.Serve
 		// The recommendation cap applies to the merged result (Router.limit,
@@ -883,13 +902,17 @@ type Stats struct {
 	// (tuple, annotation) pair lives on exactly one shard.
 	Attachments         int
 	DistinctAnnotations int
-	// Requests, Batches, Coalesced, Reads, and JournalErrors add the
+	// Requests, Batches, Coalesced, Reads, Shed, and JournalErrors add the
 	// per-shard serving counters.
 	Requests      uint64
 	Batches       uint64
 	Coalesced     uint64
 	Reads         uint64
+	Shed          uint64
 	JournalErrors uint64
+	// Latency is the cross-shard per-stage latency digest (the shards share
+	// one recorder; see FromEngines).
+	Latency serve.LatencyStats
 	// Remines adds the per-shard engine re-mine fallbacks.
 	Remines int
 	// PerShard carries each shard's full serving statistics.
@@ -912,9 +935,14 @@ func (r *Router) Stats() Stats {
 		out.Batches += st.Batches
 		out.Coalesced += st.Coalesced
 		out.Reads += st.Reads
+		out.Shed += st.Shed
 		out.JournalErrors += st.JournalErrors
 		out.Remines += st.Engine.Remines
 		out.PerShard = append(out.PerShard, ShardStats{Shard: s, Stats: st})
+		if s == 0 {
+			// The recorder is shared; any shard's digest is the aggregate.
+			out.Latency = st.Latency
+		}
 	}
 	return out
 }

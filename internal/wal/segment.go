@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // segMagic opens every segment file; the trailing byte is the format version.
@@ -61,6 +62,14 @@ type SegmentedLog struct {
 	trims        atomic.Uint64
 	trimmedBytes atomic.Int64
 	syncs        atomic.Uint64
+
+	// Background flush plumbing (FlushWindow != 0): Append pokes dirty
+	// (capacity 1, non-blocking) and the flusher goroutine syncs after the
+	// linger window. Nil/unused when the flusher is off.
+	dirty  chan struct{}
+	flQuit chan struct{}
+	flDone chan struct{}
+	flRuns bool
 }
 
 // segmentInfo describes one sealed (immutable) segment.
@@ -86,6 +95,13 @@ type SegmentedOptions struct {
 	// positioned before the trim point observe a gap). Zero means
 	// DefaultRetainSegments; negative retains everything.
 	RetainSegments int
+	// FlushWindow bounds how long an appended record may sit in the active
+	// segment before a background fsync covers it: a flusher goroutine
+	// wakes on the first append after a sync, lingers up to the window so
+	// one fsync covers a burst, then syncs. Zero disables the flusher (the
+	// default: the active tail is only fsynced at rotation, explicit Sync,
+	// and Close, so a crash may drop it); negative flushes with no linger.
+	FlushWindow time.Duration
 }
 
 // Default tuning values; see SegmentedOptions.
@@ -192,6 +208,7 @@ func OpenSegmented(opts SegmentedOptions) (*SegmentedLog, error) {
 		if err := l.startSegment(); err != nil {
 			return nil, err
 		}
+		l.startFlusher()
 		return l, nil
 	}
 	for i := range infos {
@@ -219,7 +236,70 @@ func OpenSegmented(opts SegmentedOptions) (*SegmentedLog, error) {
 	l.active = f
 	l.activeFirst = tail.first
 	l.activeSize = tail.size
+	l.startFlusher()
 	return l, nil
+}
+
+// startFlusher launches the background flusher when the options ask for one.
+// Called once at the end of OpenSegmented.
+func (l *SegmentedLog) startFlusher() {
+	if l.opts.FlushWindow == 0 {
+		return
+	}
+	l.dirty = make(chan struct{}, 1)
+	l.flQuit = make(chan struct{})
+	l.flDone = make(chan struct{})
+	l.flRuns = true
+	go l.flusher()
+}
+
+// flusher syncs the active segment within FlushWindow of the first append
+// after the previous sync, so one fsync covers a whole burst of events
+// instead of none of them surviving until rotation.
+func (l *SegmentedLog) flusher() {
+	defer close(l.flDone)
+	window := l.opts.FlushWindow
+	for {
+		select {
+		case <-l.flQuit:
+			return
+		case <-l.dirty:
+			if window > 0 {
+				linger := time.NewTimer(window)
+				select {
+				case <-linger.C:
+				case <-l.flQuit:
+					linger.Stop()
+					return // Close syncs the tail itself
+				}
+			}
+			// Collapse notifications that raced in during the linger: the
+			// sync below covers their appends too.
+			select {
+			case <-l.dirty:
+			default:
+			}
+			// A failure here is not latched: the tail was never promised
+			// durable mid-segment, and rotation or Close will retry the
+			// fsync and surface a persistent error.
+			_ = l.syncActive()
+		}
+	}
+}
+
+// syncActive is Sync minus the closed error (the flusher may lose the race
+// with Close, which syncs the tail itself).
+func (l *SegmentedLog) syncActive() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: segment sync: %w", err)
+	}
+	l.syncs.Add(1)
+	return nil
 }
 
 // parseSegmentName extracts the first-record cursor from a segment file
@@ -400,6 +480,11 @@ func (l *SegmentedLog) Append(payload []byte) (uint64, error) {
 	if l.activeSize >= l.opts.segmentBytes() {
 		if err := l.rotateLocked(); err != nil {
 			return cursor, err
+		}
+	} else if l.dirty != nil {
+		select {
+		case l.dirty <- struct{}{}:
+		default: // flusher already poked
 		}
 	}
 	return cursor, nil
@@ -605,6 +690,14 @@ func (l *SegmentedLog) Stats() SegmentedStats {
 // Close syncs and closes the active segment. The log is unusable afterwards;
 // reopen with OpenSegmented. Idempotent.
 func (l *SegmentedLog) Close() error {
+	l.mu.Lock()
+	stopFlusher := l.flRuns
+	l.flRuns = false
+	l.mu.Unlock()
+	if stopFlusher {
+		close(l.flQuit)
+		<-l.flDone // flusher takes mu, so wait before re-locking below
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -75,6 +76,15 @@ type Stats struct {
 	LogBytes int64
 	// Syncs counts explicit fsyncs of the log.
 	Syncs uint64
+	// UnsyncedRecords and UnsyncedBytes measure the crash window: records
+	// appended (and possibly acknowledged, under SyncInterval or
+	// SyncNever) whose covering fsync has not completed yet. Both are
+	// conservative — a record appended while a sync was in flight stays
+	// counted until the next sync — and both are 0 whenever the log is
+	// known durable. Under SyncAlways with group commit off they are 0
+	// between appends by construction.
+	UnsyncedRecords int64
+	UnsyncedBytes   int64
 	// Checkpoints and CheckpointErrors count checkpoint attempts since Open.
 	Checkpoints      uint64
 	CheckpointErrors uint64
@@ -90,9 +100,15 @@ type Stats struct {
 // serve package's Journal interface; wire it into serve.Config.Journal and
 // route every mutation through the serving core.
 //
-// The mutating methods (LogAnnotations, LogTuples, Committed, Checkpoint)
-// are not safe for concurrent use — they belong to the serving layer's
-// single writer. Stats and Recovery may be read from any goroutine.
+// The mutating methods (LogAnnotations, LogTuples, Seal, Committed,
+// Checkpoint) are not safe for concurrent use — they belong to the serving
+// layer's single writer. Stats and Recovery may be read from any goroutine.
+//
+// With Options.FlushWindow set (group commit), Store also satisfies the
+// serve package's GroupJournal interface: the serving writer calls Seal
+// after applying a batch and withholds acknowledgements until the returned
+// ticket resolves, so one committer fsync covers every batch that arrived
+// while the previous fsync was in flight.
 type Store struct {
 	opts  Options
 	cfg   mining.Config
@@ -109,6 +125,27 @@ type Store struct {
 	checkpointErrors atomic.Uint64
 	lastCheckpoint   atomic.Int64
 
+	// unsyncedRecords and unsyncedBytes track appended records whose
+	// covering fsync has not completed: the writer adds on append, syncLog
+	// subtracts (under logMu) what it observed before fsyncing. Safe to
+	// read from any goroutine.
+	unsyncedRecords atomic.Int64
+	unsyncedBytes   atomic.Int64
+
+	// logMu serializes every fsync issued off the writer goroutine (the
+	// group committer, the interval flusher) against TruncateKeep, which
+	// swaps the log's file handle: an fsync concurrent with the swap could
+	// target a closed fd. The writer's own appends never race these — the
+	// log is only appended from the writer goroutine.
+	logMu sync.Mutex
+
+	// Group-commit plumbing: Seal hands tickets to the committer via
+	// sealCh; bgQuit/bgDone bound the committer's (or the interval
+	// flusher's) lifetime. Nil/unused when no background syncer runs.
+	sealCh        chan chan error
+	bgQuit        chan struct{}
+	bgDone        chan struct{}
+	bgRuns        bool
 	lastSync      time.Time // writer-only
 	oldestPending time.Time // writer-only: append time of the oldest un-checkpointed record
 	closed        bool
@@ -264,8 +301,39 @@ func Open(opts Options, cfg mining.Config, eopts incremental.Options, bootstrap 
 		s.oldestPending = time.Now()
 	}
 	s.logBytes.Store(log.Size())
+	s.startBackground()
 	s.recovery.Duration = time.Since(start)
 	return s, nil
+}
+
+// startBackground launches the sync goroutine the options call for: the
+// group committer (SyncAlways with a flush window) or the interval flusher
+// (SyncInterval, so the crash window stays bounded by the cadence even when
+// appends pause). Called once at the end of Open.
+func (s *Store) startBackground() {
+	switch {
+	case s.opts.groupCommit():
+		s.sealCh = make(chan chan error, 256)
+		s.bgQuit = make(chan struct{})
+		s.bgDone = make(chan struct{})
+		s.bgRuns = true
+		go s.committer()
+	case s.opts.Sync == SyncInterval:
+		s.bgQuit = make(chan struct{})
+		s.bgDone = make(chan struct{})
+		s.bgRuns = true
+		go s.intervalFlusher()
+	}
+}
+
+// stopBackground stops the committer or flusher and waits it out. Writer-only.
+func (s *Store) stopBackground() {
+	if !s.bgRuns {
+		return
+	}
+	s.bgRuns = false
+	close(s.bgQuit)
+	<-s.bgDone
 }
 
 // HasPendingRecords reports whether the log holds records not yet covered
@@ -287,7 +355,9 @@ func (s *Store) Failed() error {
 	return nil
 }
 
-// latch records the first unrecoverable failure. Writer-only.
+// latch records the first unrecoverable failure. Safe from any goroutine
+// (the writer, the group committer, the interval flusher): CAS keeps the
+// first failure.
 func (s *Store) latch(err error) {
 	s.failed.CompareAndSwap(nil, &err)
 }
@@ -312,6 +382,8 @@ func (s *Store) Stats() Stats {
 		Records:                s.records.Load(),
 		LogBytes:               s.logBytes.Load(),
 		Syncs:                  s.syncs.Load(),
+		UnsyncedRecords:        s.unsyncedRecords.Load(),
+		UnsyncedBytes:          s.unsyncedBytes.Load(),
 		Checkpoints:            s.checkpoints.Load(),
 		CheckpointErrors:       s.checkpointErrors.Load(),
 		LastCheckpointUnixNano: s.lastCheckpoint.Load(),
@@ -391,14 +463,23 @@ func (s *Store) append(rec Record) error {
 	if s.oldestPending.IsZero() {
 		s.oldestPending = time.Now()
 	}
-	if _, err := s.log.Append(rec, s.opts.Encoding); err != nil {
+	frameLen, err := s.log.Append(rec, s.opts.Encoding)
+	if err != nil {
 		return err
 	}
 	s.records.Add(1)
 	s.logBytes.Store(s.log.Size())
+	s.unsyncedRecords.Add(1)
+	s.unsyncedBytes.Add(frameLen)
 	switch s.opts.Sync {
 	case SyncAlways:
-		if err := s.log.Sync(); err != nil {
+		if s.opts.groupCommit() {
+			// The committer's covering fsync makes the record durable before
+			// the serving writer acknowledges it (Seal); syncing here too
+			// would reintroduce the per-batch fsync group commit removes.
+			break
+		}
+		if err := s.syncLog(); err != nil {
 			// The record is in the file but the batch will be failed: later
 			// appends would land after a phantom record that recovery
 			// replays, silently shifting every subsequent tuple index.
@@ -406,20 +487,168 @@ func (s *Store) append(rec Record) error {
 			s.latch(err)
 			return err
 		}
-		s.syncs.Add(1)
 		s.lastSync = time.Now()
 	case SyncInterval:
 		if time.Since(s.lastSync) >= s.opts.syncEvery() {
-			if err := s.log.Sync(); err != nil {
+			if err := s.syncLog(); err != nil {
 				s.latch(err)
 				return err
 			}
-			s.syncs.Add(1)
 			s.lastSync = time.Now()
 		}
 	case SyncNever:
 	}
 	return nil
+}
+
+// syncLog fsyncs the log under logMu and credits the unsynced counters with
+// what was pending when the fsync began. Records appended while the fsync
+// is in flight stay counted (conservative: the counters never claim
+// durability a crash could disprove). Safe from the writer, the committer,
+// and the interval flusher; logMu also keeps the fsync from racing
+// TruncateKeep's file swap.
+func (s *Store) syncLog() error {
+	s.logMu.Lock()
+	recs := s.unsyncedRecords.Load()
+	bytes := s.unsyncedBytes.Load()
+	err := s.log.Sync()
+	if err == nil {
+		s.unsyncedRecords.Add(-recs)
+		s.unsyncedBytes.Add(-bytes)
+	}
+	s.logMu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.syncs.Add(1)
+	return nil
+}
+
+// Seal implements the serve package's GroupJournal contract: it returns a
+// ticket that resolves once one committer fsync covers every record
+// appended before the call, or nil when those records are already as
+// durable as the sync policy promises (group commit off, nothing unsynced,
+// or a policy that never gates acknowledgements on fsync). Writer-only,
+// like the Log* methods.
+func (s *Store) Seal() <-chan error {
+	if !s.opts.groupCommit() {
+		return nil
+	}
+	if s.unsyncedRecords.Load() == 0 {
+		// Nothing appended since the last covering fsync (e.g. every group
+		// in the batch failed validation before reaching the log).
+		return nil
+	}
+	t := make(chan error, 1)
+	s.sealCh <- t
+	return t
+}
+
+// committer is the group-commit loop: it collects seal tickets, optionally
+// lingers up to the flush window (cut short once MaxGroupBytes of unsynced
+// appends accumulate), then issues one fsync and resolves every collected
+// ticket with its outcome. Tickets that arrive while an fsync is in flight
+// simply queue in sealCh and ride the next fsync — that overlap, not the
+// linger, is where group commit's throughput comes from.
+func (s *Store) committer() {
+	defer close(s.bgDone)
+	window := s.opts.flushWindow()
+	maxBytes := s.opts.maxGroupBytes()
+	for {
+		select {
+		case <-s.bgQuit:
+			s.drainTickets()
+			return
+		case t := <-s.sealCh:
+			pending := []chan error{t}
+			if window > 0 && s.unsyncedBytes.Load() < maxBytes {
+				deadline := time.NewTimer(window)
+			linger:
+				for {
+					select {
+					case t2 := <-s.sealCh:
+						pending = append(pending, t2)
+						if s.unsyncedBytes.Load() >= maxBytes {
+							break linger
+						}
+					case <-deadline.C:
+						break linger
+					case <-s.bgQuit:
+						break linger
+					}
+				}
+				deadline.Stop()
+			} else {
+				// No linger: absorb whatever is already queued so one fsync
+				// covers it all, but never wait.
+				for {
+					select {
+					case t2 := <-s.sealCh:
+						pending = append(pending, t2)
+						continue
+					default:
+					}
+					break
+				}
+			}
+			err := s.commitGroup()
+			for _, p := range pending {
+				p <- err
+			}
+		}
+	}
+}
+
+// commitGroup issues one covering fsync, latching the store on failure so
+// later appends refuse instead of extending a log whose tail may be phantom.
+func (s *Store) commitGroup() error {
+	if err := s.Failed(); err != nil {
+		return err
+	}
+	if err := s.syncLog(); err != nil {
+		s.latch(err)
+		return err
+	}
+	return nil
+}
+
+// drainTickets resolves tickets still queued at shutdown with a final
+// commit. In the supported teardown order (serving core first, then the
+// store) the queue is already empty; this keeps a misordered caller from
+// deadlocking its acker instead of getting an error.
+func (s *Store) drainTickets() {
+	for {
+		select {
+		case t := <-s.sealCh:
+			t <- s.commitGroup()
+		default:
+			return
+		}
+	}
+}
+
+// intervalFlusher bounds the SyncInterval crash window: appends only fsync
+// when one lands after the cadence expires, so a burst followed by silence
+// used to leave its tail unsynced (and acknowledged) indefinitely. The
+// flusher syncs any pending tail once per cadence regardless of append
+// traffic.
+func (s *Store) intervalFlusher() {
+	defer close(s.bgDone)
+	tick := time.NewTicker(s.opts.syncEvery())
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.bgQuit:
+			return
+		case <-tick.C:
+			if s.unsyncedRecords.Load() == 0 || s.Failed() != nil {
+				continue
+			}
+			if err := s.syncLog(); err != nil {
+				s.latch(err)
+			}
+		}
+	}
 }
 
 // pendingInstall is one background checkpoint install: the epoch and log
@@ -482,7 +711,22 @@ func (s *Store) finishInstall(wait bool) error {
 // finishTruncate completes a durably installed checkpoint: the log drops
 // the covered prefix and keeps any tail appended since the capture.
 func (s *Store) finishTruncate(epoch uint64, covered int64, takenAt time.Time) error {
-	if err := s.log.TruncateKeep(epoch, covered); err != nil {
+	// TruncateKeep swaps the log's file handle (copy tail to a temp file,
+	// fsync it, rename); logMu keeps the committer or interval flusher from
+	// fsyncing the old handle mid-swap. The rewritten tail is durable when
+	// TruncateKeep returns, so whatever was unsynced at that point is
+	// credited — snapshot under the same lock so a concurrent syncLog can't
+	// double-subtract.
+	s.logMu.Lock()
+	recs := s.unsyncedRecords.Load()
+	bytes := s.unsyncedBytes.Load()
+	err := s.log.TruncateKeep(epoch, covered)
+	if err == nil {
+		s.unsyncedRecords.Add(-recs)
+		s.unsyncedBytes.Add(-bytes)
+	}
+	s.logMu.Unlock()
+	if err != nil {
 		// The checkpoint is installed but the log still carries the old
 		// epoch: recovery would re-skip the covered prefix, but this
 		// process can no longer prove what an append covers. Latch so
@@ -595,6 +839,10 @@ func (s *Store) Close() error {
 	// A failed install is safe to drop: the old checkpoint plus the full
 	// log still recover everything acknowledged.
 	_ = s.finishInstall(true)
+	// Stop the committer/flusher before closing the log so no background
+	// fsync targets a closed handle. Outstanding seal tickets (a misordered
+	// caller's) are resolved with a final commit on the way out.
+	s.stopBackground()
 	s.closed = true
 	return s.log.Close()
 }

@@ -9,6 +9,7 @@ import (
 
 	"annotadb/internal/incremental"
 	"annotadb/internal/itemset"
+	"annotadb/internal/metrics"
 	"annotadb/internal/mining"
 	"annotadb/internal/relation"
 	"annotadb/internal/rules"
@@ -30,6 +31,13 @@ var ErrServerClosed = serve.ErrClosed
 // a request defect, and the client may retry.
 var ErrJournal = serve.ErrJournal
 
+// ErrOverloaded is returned by Server write methods when the bounded
+// admission queue stayed full for a whole batch window: the writer is not
+// keeping up and the request was shed instead of queued. Callers mapping it
+// to a transport status should return 429 Too Many Requests with a
+// Retry-After hint; the write was NOT applied and may be retried.
+var ErrOverloaded = serve.ErrOverloaded
+
 // ServeOptions configure a Server's write coalescing, recommendation
 // filtering, and sharding.
 type ServeOptions struct {
@@ -40,7 +48,10 @@ type ServeOptions struct {
 	BatchWindow time.Duration
 	// MaxBatch caps updates per coalesced maintenance pass (0 = default).
 	MaxBatch int
-	// QueueDepth bounds pending write requests (0 = default).
+	// QueueDepth bounds pending write requests (0 = default). The queue is
+	// an admission control: a submission that finds it full waits at most
+	// one batch window for a slot and is then shed with ErrOverloaded
+	// instead of blocking indefinitely.
 	QueueDepth int
 	// Recommend filters the rules used to answer recommendation reads.
 	Recommend RecommendOptions
@@ -662,13 +673,50 @@ type ShardServerStats struct {
 	Attachments         int
 	DistinctAnnotations int
 	// Requests, Batches, Coalesced, and Reads are the shard's serving
-	// counters.
+	// counters; Shed counts writes this shard refused with ErrOverloaded.
 	Requests  uint64
 	Batches   uint64
 	Coalesced uint64
 	Reads     uint64
+	Shed      uint64
 	// Remines counts the shard engine's full re-mine fallbacks.
 	Remines int
+}
+
+// StageLatency is one write-pipeline stage's latency digest: observation
+// count, mean, tail quantiles (bucket-resolution estimates, never below the
+// true quantile's bucket), and the exact maximum.
+type StageLatency struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// WriteLatencyStats breaks write latency down by pipeline stage: Queue is
+// admission-to-apply wait, Apply the engine maintenance pass, Fsync the
+// wait for the covering group-commit fsync (zero observations unless the
+// journal group-commits), and Publish the snapshot publication. Sharded
+// servers share one recorder across shards, so the digests are aggregates.
+type WriteLatencyStats struct {
+	Queue   StageLatency
+	Apply   StageLatency
+	Fsync   StageLatency
+	Publish StageLatency
+}
+
+func stageLatency(s metrics.Summary) StageLatency {
+	return StageLatency{Count: s.Count, Mean: s.Mean, P50: s.P50, P99: s.P99, Max: s.Max}
+}
+
+func writeLatencyStats(l serve.LatencyStats) WriteLatencyStats {
+	return WriteLatencyStats{
+		Queue:   stageLatency(l.Queue),
+		Apply:   stageLatency(l.Apply),
+		Fsync:   stageLatency(l.Fsync),
+		Publish: stageLatency(l.Publish),
+	}
 }
 
 // ServerStats reports serving activity and the published snapshot.
@@ -700,11 +748,16 @@ type ServerStats struct {
 	DistinctAnnotations int
 	// Requests, Batches, Coalesced, Reads are serving counters: write
 	// requests accepted, engine applications after coalescing, requests
-	// that shared an application, and snapshot reads served.
+	// that shared an application, and snapshot reads served. Shed counts
+	// writes refused with ErrOverloaded by the bounded admission queue
+	// (not included in Requests).
 	Requests  uint64
 	Batches   uint64
 	Coalesced uint64
 	Reads     uint64
+	Shed      uint64
+	// Latency breaks accepted writes down by pipeline stage.
+	Latency WriteLatencyStats
 	// Remines counts fallbacks to a full re-mine over the server's life.
 	Remines int
 	// Shards is the shard count (0 for an unsharded server) and SeqVector
@@ -730,6 +783,8 @@ func (s *Server) Stats() ServerStats {
 			Batches:             st.Batches,
 			Coalesced:           st.Coalesced,
 			Reads:               st.Reads,
+			Shed:                st.Shed,
+			Latency:             writeLatencyStats(st.Latency),
 			Remines:             st.Remines,
 			Shards:              st.Shards,
 			SeqVector:           st.Seqs,
@@ -750,6 +805,7 @@ func (s *Server) Stats() ServerStats {
 				Batches:             ss.Batches,
 				Coalesced:           ss.Coalesced,
 				Reads:               ss.Reads,
+				Shed:                ss.Shed,
 				Remines:             ss.Engine.Remines,
 			})
 		}
@@ -768,6 +824,8 @@ func (s *Server) Stats() ServerStats {
 		Batches:             st.Batches,
 		Coalesced:           st.Coalesced,
 		Reads:               st.Reads,
+		Shed:                st.Shed,
+		Latency:             writeLatencyStats(st.Latency),
 		Remines:             st.Engine.Remines,
 	}
 }

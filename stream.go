@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"time"
 
 	"annotadb/internal/shard"
 	"annotadb/internal/stream"
@@ -115,6 +116,13 @@ type StreamOptions struct {
 	// rotation (0 = 8, negative retains everything). Sealed segments beyond
 	// it are deleted; cursors inside them become a gap on resume.
 	RetainSegments int
+	// FlushWindow bounds how long an appended event may sit in the active
+	// segment before a background fsync covers it, so a crash loses at most
+	// a window's worth of events instead of the whole active tail. Zero
+	// disables the flusher (the default: the active tail is only fsynced at
+	// rotation and shutdown); negative flushes with no linger. Durable
+	// servers only.
+	FlushWindow time.Duration
 }
 
 // ErrStreamDisabled is returned by Subscribe when the server was built with
@@ -136,6 +144,7 @@ func newStream(opts StreamOptions, dir string, shards int) (*stream.Broker, *wal
 			Prefix:         "events",
 			SegmentBytes:   opts.SegmentBytes,
 			RetainSegments: opts.RetainSegments,
+			FlushWindow:    opts.FlushWindow,
 		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("annotadb: open event log: %w", err)
@@ -273,6 +282,14 @@ func (s *Server) Health() error {
 	if s.router != nil {
 		if err := s.router.Err(); err != nil {
 			return err
+		}
+		if err := s.router.JournalErr(); err != nil {
+			return fmt.Errorf("annotadb: %w", err)
+		}
+	}
+	if s.core != nil {
+		if err := s.core.JournalErr(); err != nil {
+			return fmt.Errorf("annotadb: %w", err)
 		}
 	}
 	if s.cluster != nil {
