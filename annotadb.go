@@ -355,6 +355,21 @@ type UpdateReport struct {
 	Remined bool
 	// DurationSeconds is the wall time of the maintenance work.
 	DurationSeconds float64
+	// Seq is the snapshot sequence current when a Server acknowledged the
+	// write (zero for direct Engine operations, which have no snapshot
+	// machinery). Because a serving writer publishes the new snapshot
+	// before delivering the ack, every read served at or after Seq
+	// observes this write: a client that remembers the largest Seq it has
+	// been acked and compares it against the seq reported by /recommend
+	// gets read-your-writes. Seq restarts from one when a durable server
+	// reopens.
+	Seq uint64
+	// SeqVector is the per-shard equivalent of Seq on sharded servers
+	// (nil otherwise): component i was read from shard i after the ack,
+	// so a read whose seq_vector dominates it observes the write. Seq is
+	// then the vector's sum — monotone, so still usable as a scalar
+	// staleness bound.
+	SeqVector []uint64
 }
 
 func publicReport(r *incremental.Report) UpdateReport {

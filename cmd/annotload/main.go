@@ -1,0 +1,218 @@
+// Command annotload is the macro load harness: an open/closed-loop HTTP
+// load generator for annotserve-compatible servers.
+//
+// It drives a target with a configurable mix of GET /recommend reads,
+// POST /annotations and POST /tuples writes, and long-lived SSE
+// GET /events subscribers, honoring 429 Retry-After with jittered
+// backoff, and reports client-side p50/p99/max latency per endpoint,
+// achieved vs offered throughput, shed counts, and SSE gap/resume counts.
+//
+// Usage:
+//
+//	annotload -target http://127.0.0.1:8080            # one closed-loop run
+//	annotload -local -mode open -rate 500 -subscribers 4
+//	annotload -local -experiments experiments.json -csv grid.csv -json grid.json
+//
+// With -local the harness boots an in-process server (the production
+// serving stack behind the production HTTP handler on a loopback
+// listener) instead of requiring a running annotserve; the grid runner
+// then gives every cell a fresh server so cells cannot contaminate each
+// other. A single run prints its report as JSON to stdout (or -json); a
+// grid run writes one CSV row per cell plus a JSON summary.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"annotadb/internal/load"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "annotload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("annotload", flag.ContinueOnError)
+	var (
+		target      = fs.String("target", "", "base URL of a running server (e.g. http://127.0.0.1:8080)")
+		local       = fs.Bool("local", false, "boot an in-process server instead of using -target")
+		experiments = fs.String("experiments", "", "experiments.json grid file; runs the grid instead of one scenario")
+		csvPath     = fs.String("csv", "", "write grid results as CSV here (default stdout)")
+		jsonPath    = fs.String("json", "", "write the JSON report/summary here (default stdout)")
+
+		name        = fs.String("name", "adhoc", "scenario name")
+		mode        = fs.String("mode", "closed", `"closed" (fixed workers) or "open" (fixed arrival rate)`)
+		corpus      = fs.String("corpus", "paper", `traffic corpus: "paper", "metrics", or "linguistic"`)
+		duration    = fs.Float64("duration", 5, "run duration in seconds")
+		concurrency = fs.Int("concurrency", 8, "closed-loop worker count")
+		rate        = fs.Float64("rate", 100, "open-loop offered arrival rate (req/s)")
+		readFrac    = fs.Float64("reads", 0.80, "read (GET /recommend) fraction of the mix")
+		annFrac     = fs.Float64("annotates", 0.15, "annotation write fraction of the mix")
+		tupFrac     = fs.Float64("tuples-frac", 0.05, "tuple write fraction of the mix")
+		subscribers = fs.Int("subscribers", 0, "long-lived SSE /events subscribers held open for the run")
+		reconnect   = fs.Float64("subscriber-reconnect", 0, "drop+resume each subscriber on this period in seconds (0 = never)")
+		batch       = fs.Int("batch", 16, "annotation updates per POST /annotations")
+		tupleBatch  = fs.Int("tuple-batch", 4, "tuples per POST /tuples")
+		retries     = fs.Int("retries", 2, "max 429 retries per write")
+		backoff     = fs.Float64("max-backoff", 1, "Retry-After cap in seconds")
+		seed        = fs.Int64("seed", 1, "workload seed (drives traffic content end to end)")
+
+		tuples      = fs.Int("seed-tuples", 2000, "-local: seed relation size")
+		shards      = fs.Int("shards", 0, "-local: annotation-family shards (0/1 = unsharded)")
+		dir         = fs.String("dir", "", "-local: durable data directory (empty = in-memory)")
+		queueDepth  = fs.Int("queue-depth", 0, "-local: write admission queue depth (0 = default)")
+		localEvents = fs.Bool("events", true, "-local: serve the SSE event stream")
+		minSupport  = fs.Float64("min-support", 0, "-local: mining support threshold (0 = paper default 0.4; metrics/linguistic corpora plant correlations nearer 0.05)")
+		minConf     = fs.Float64("min-confidence", 0, "-local: mining confidence threshold (0 = paper default 0.8)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*target == "") == !*local {
+		return fmt.Errorf("exactly one of -target or -local is required")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	localOpts := load.LocalOptions{
+		Corpus:        *corpus,
+		Tuples:        *tuples,
+		Seed:          *seed,
+		Shards:        *shards,
+		Dir:           *dir,
+		QueueDepth:    *queueDepth,
+		Events:        *localEvents,
+		MinSupport:    *minSupport,
+		MinConfidence: *minConf,
+	}
+
+	if *experiments != "" {
+		return runGrid(ctx, *experiments, *target, localOpts, *csvPath, *jsonPath)
+	}
+
+	sc := load.Scenario{
+		Name:                       *name,
+		Mode:                       *mode,
+		Corpus:                     *corpus,
+		DurationSeconds:            *duration,
+		Concurrency:                *concurrency,
+		Rate:                       *rate,
+		ReadFraction:               *readFrac,
+		AnnotateFraction:           *annFrac,
+		TupleFraction:              *tupFrac,
+		Subscribers:                *subscribers,
+		SubscriberReconnectSeconds: *reconnect,
+		BatchSize:                  *batch,
+		TupleBatchSize:             *tupleBatch,
+		MaxRetries:                 *retries,
+		MaxBackoffSeconds:          *backoff,
+		Seed:                       *seed,
+	}
+	tgt, cleanup, err := makeTarget(*target, localOpts)
+	if err != nil {
+		return err
+	}
+	rep, runErr := load.Run(ctx, tgt, sc)
+	if cleanup != nil {
+		if err := cleanup(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+	fmt.Fprintf(os.Stderr, "annotload: %s %s %.1fs — %d completed (%.1f req/s achieved, %.1f offered), %d shed, %d seq regressions\n",
+		sc.Name, rep.Scenario.Mode, rep.DurationSeconds, rep.Completed, rep.AchievedRPS, rep.OfferedRPS, rep.TotalShed(), rep.SeqRegressions)
+	return writeJSON(*jsonPath, rep)
+}
+
+// makeTarget resolves the run's target: the given base URL, or a freshly
+// booted in-process server (with its teardown).
+func makeTarget(target string, localOpts load.LocalOptions) (load.Target, func() error, error) {
+	if target != "" {
+		return load.Target{BaseURL: target}, nil, nil
+	}
+	l, err := load.StartLocal(localOpts)
+	if err != nil {
+		return load.Target{}, nil, err
+	}
+	cleanup := func() error { return l.Close(context.Background()) }
+	return load.Target{BaseURL: l.URL}, cleanup, nil
+}
+
+// runGrid executes an experiments.json grid: every cell against a fresh
+// local server (or, with -target, sequentially against the one server —
+// noisier, but usable against a deployment).
+func runGrid(ctx context.Context, path, target string, localOpts load.LocalOptions, csvPath, jsonPath string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var exp load.Experiments
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&exp); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	cells, err := exp.Cells()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "annotload: grid %s — %d cells\n", path, len(cells))
+	newTarget := func(c load.Cell) (load.Target, func() error, error) {
+		opts := localOpts
+		opts.Corpus = c.Scenario.Corpus
+		opts.Seed = c.Scenario.Seed
+		return makeTarget(target, opts)
+	}
+	progress := func(c load.Cell) {
+		fmt.Fprintf(os.Stderr, "annotload: cell %s repeat %d (%s, %.0fs)\n", c.Name, c.Repeat, c.Scenario.Mode, c.Scenario.DurationSeconds)
+	}
+	results, err := load.RunCells(ctx, cells, newTarget, progress)
+	if err != nil {
+		return err
+	}
+	if err := writeCSV(csvPath, results); err != nil {
+		return err
+	}
+	return writeJSON(jsonPath, load.Summarize(results))
+}
+
+func writeCSV(path string, results []load.CellResult) error {
+	if path == "" {
+		return load.WriteCSV(os.Stdout, results)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := load.WriteCSV(f, results); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeJSON(path string, v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}

@@ -196,6 +196,29 @@ type EventLogStats struct {
 // (dopts.Shards > 1) supports no direct Engine calls at all — every read
 // and write goes through the Server.
 func OpenDurable(dataPath string, opts Options, dopts DurabilityOptions) (*Engine, RecoveryReport, error) {
+	return openDurable(opts, dopts, func() (*relation.Relation, error) {
+		if dataPath == "" {
+			return relation.New(), nil
+		}
+		return storage.ReadDatasetFile(dataPath, storage.Options{})
+	})
+}
+
+// OpenDurableDataset is OpenDurable with an in-memory seed dataset instead
+// of a dataset file path: when the directory is empty, ds seeds the store;
+// when it holds previous state, ds is ignored and recovery proceeds as
+// usual. The engine takes ownership of the dataset's relation — the caller
+// must not touch ds afterwards. This is the boot path for corpora whose
+// annotation vocabulary spans several family prefixes (cpu:high, pos:noun,
+// …), which the default-classified file format of OpenDurable cannot
+// express.
+func OpenDurableDataset(ds *Dataset, opts Options, dopts DurabilityOptions) (*Engine, RecoveryReport, error) {
+	return openDurable(opts, dopts, func() (*relation.Relation, error) {
+		return ds.rel, nil
+	})
+}
+
+func openDurable(opts Options, dopts DurabilityOptions, bootstrap func() (*relation.Relation, error)) (*Engine, RecoveryReport, error) {
 	cfg, err := opts.internal()
 	if err != nil {
 		return nil, RecoveryReport{}, err
@@ -203,12 +226,6 @@ func OpenDurable(dataPath string, opts Options, dopts DurabilityOptions) (*Engin
 	wopts, err := dopts.internal()
 	if err != nil {
 		return nil, RecoveryReport{}, err
-	}
-	bootstrap := func() (*relation.Relation, error) {
-		if dataPath == "" {
-			return relation.New(), nil
-		}
-		return storage.ReadDatasetFile(dataPath, storage.Options{})
 	}
 	if dopts.Shards > 1 {
 		cluster, err := shard.OpenDurable(shard.DurableOptions{

@@ -121,6 +121,7 @@ func All() []Experiment {
 		{ID: "E12", Title: "Extension: sharded write path — Case 3 throughput vs shard count", Anchor: "§6 scale-out", Run: runE12},
 		{ID: "E13", Title: "Extension: rule-churn event fanout — publish latency vs subscriber count", Anchor: "§6 curator push", Run: runE13},
 		{ID: "E14", Title: "Extension: WAL group commit — fsync'd write throughput vs flush window", Anchor: "§6 durability", Run: runE14},
+		{ID: "E15", Title: "Extension: macro HTTP load — read-heavy, write-heavy, and mixed+SSE mixes over the full serving stack", Anchor: "§6 serving", Run: runE15},
 	}
 }
 

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"annotadb/internal/load"
+)
+
+// runE15 measures the full serving stack under macro HTTP load, beyond
+// the paper: an in-process server (the production handler on a loopback
+// listener) driven by the internal/load harness through three canonical
+// mixes — read-heavy closed-loop, write-heavy open-loop, and a mixed load
+// with live SSE subscribers. Closed-loop rows report the stack's
+// saturated throughput; the open-loop row reports latency under a fixed
+// offered rate with shedding visible. Every row re-checks the serving
+// invariants on the side: zero read-your-writes violations and zero SSE
+// cursor regressions.
+func runE15(p Params) (*Result, error) {
+	duration := 4.0
+	if p.BaseTuples <= 1000 {
+		duration = 0.8
+	}
+	scenarios := []load.Scenario{
+		{
+			Name: "read-heavy", Mode: "closed", Corpus: "metrics",
+			DurationSeconds: duration, Concurrency: 8,
+			ReadFraction: 0.95, AnnotateFraction: 0.04, TupleFraction: 0.01,
+			Seed: p.Seed,
+		},
+		{
+			Name: "write-heavy", Mode: "open", Corpus: "metrics",
+			DurationSeconds: duration, Rate: 600,
+			ReadFraction: 0.10, AnnotateFraction: 0.70, TupleFraction: 0.20,
+			MaxRetries: 1, Seed: p.Seed + 1,
+		},
+		{
+			Name: "mixed+sse", Mode: "open", Corpus: "metrics",
+			DurationSeconds: duration, Rate: 300,
+			ReadFraction: 0.60, AnnotateFraction: 0.30, TupleFraction: 0.10,
+			Subscribers: 4, SubscriberReconnectSeconds: duration / 4,
+			MaxRetries: 2, Seed: p.Seed + 2,
+		},
+	}
+	res := &Result{Header: []string{
+		"scenario", "mode", "offered/s", "achieved/s", "read p50", "read p99",
+		"write p50", "write p99", "shed", "sse events", "resumes", "violations",
+	}}
+	for _, sc := range scenarios {
+		l, err := load.StartLocal(load.LocalOptions{
+			Corpus:        "metrics",
+			Tuples:        p.BaseTuples,
+			Seed:          p.Seed,
+			MinSupport:    0.05,
+			MinConfidence: 0.5,
+			Events:        true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep, runErr := load.Run(context.Background(), load.Target{BaseURL: l.URL}, sc)
+		closeCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		closeErr := l.Close(closeCtx)
+		cancel()
+		if runErr != nil {
+			return nil, runErr
+		}
+		if closeErr != nil {
+			return nil, closeErr
+		}
+		writeP50 := maxFloat(rep.Annotations.P50Millis, rep.Tuples.P50Millis)
+		writeP99 := maxFloat(rep.Annotations.P99Millis, rep.Tuples.P99Millis)
+		res.Rows = append(res.Rows, []string{
+			sc.Name,
+			sc.Mode,
+			fmt.Sprintf("%.0f", rep.OfferedRPS),
+			fmt.Sprintf("%.0f", rep.AchievedRPS),
+			fmt.Sprintf("%.2fms", rep.Recommend.P50Millis),
+			fmt.Sprintf("%.2fms", rep.Recommend.P99Millis),
+			fmt.Sprintf("%.2fms", writeP50),
+			fmt.Sprintf("%.2fms", writeP99),
+			fmt.Sprintf("%d", rep.TotalShed()),
+			fmt.Sprintf("%d", rep.SSE.Events),
+			fmt.Sprintf("%d", rep.SSE.Resumes),
+			fmt.Sprintf("%d", rep.SeqRegressions+rep.SSE.CursorRegressions),
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("workload: metrics corpus, %d seed tuples, %.1fs per scenario over real loopback HTTP, seed %d", p.BaseTuples, duration, p.Seed),
+		"write quantiles are the slower of the two write endpoints; violations = read-your-writes + SSE cursor regressions (must be 0)",
+	)
+	return res, nil
+}

@@ -23,8 +23,10 @@ var lintedPackages = []string{
 	"internal/apriori",
 	"internal/fpgrowth",
 	"internal/generalize",
+	"internal/httpapi",
 	"internal/incremental",
 	"internal/itemset",
+	"internal/load",
 	"internal/metrics",
 	"internal/mining",
 	"internal/predict",

@@ -1,0 +1,642 @@
+// Package httpapi exposes an annotadb Server over HTTP/JSON: the transport
+// layer shared by cmd/annotserve (the daemon), cmd/annotload's self-serve
+// mode, and the in-process integration suites (macro soak, overload
+// accounting). Keeping the handler here rather than inside the daemon means
+// a load test exercises byte-for-byte the same routing, status mapping, and
+// SSE framing production traffic sees.
+//
+// Endpoints (see cmd/annotserve/README.md for curl examples):
+//
+//	GET  /rules        current rules (?kind=, ?limit=)
+//	GET  /recommend    ?tuple=N — recommendations for one tuple, with the
+//	                   snapshot seq (and seq_vector when sharded) answered
+//	                   from
+//	POST /annotations  apply an annotation batch (JSON or Figure 14 text);
+//	                   the response reports the snapshot seq at ack time
+//	POST /tuples       append tuples; same seq reporting
+//	GET  /stats        serving, dataset, stream, and durability statistics
+//	GET  /events       rule-churn Server-Sent Events with cursor resume
+//	GET  /healthz      200 ok / 503 degraded once a write-path failure latched
+//
+// Errors are structured JSON: {"error":{"code":"...","message":"..."}} with
+// the stable codes in the Code* constants.
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"annotadb"
+)
+
+// Error codes of the structured error schema. Every non-2xx response has
+// the body {"error":{"code":"<one of these>","message":"..."}}; the code is
+// a stable machine-readable classification, the message is human-readable
+// detail.
+const (
+	// CodeInvalidArgument is a 400: malformed request or bad batch.
+	CodeInvalidArgument = "invalid_argument"
+	// CodeNotFound is a 404: tuple index out of range (or /events disabled).
+	CodeNotFound = "not_found"
+	// CodeTooLarge is a 413: body over the byte budget.
+	CodeTooLarge = "payload_too_large"
+	// CodeInternal is a 500: server-side write failure (e.g. WAL disk);
+	// retryable.
+	CodeInternal = "internal"
+	// CodeUnavailable is a 503: shutting down / request canceled.
+	CodeUnavailable = "unavailable"
+	// CodeOverloaded is a 429: admission queue full; retry after backing off.
+	CodeOverloaded = "overloaded"
+)
+
+// api exposes one Server over HTTP.
+type api struct {
+	srv *annotadb.Server
+	// streamCtx gates every /events stream: canceling it (graceful
+	// shutdown) ends the streams so Shutdown's in-flight drain can finish.
+	streamCtx context.Context
+	// health backs /healthz; New wires srv.Health, tests substitute
+	// latched outcomes.
+	health func() error
+}
+
+// New returns the HTTP handler serving srv. Canceling streamCtx ends every
+// open /events stream, which graceful shutdown needs before its in-flight
+// request drain can finish.
+func New(srv *annotadb.Server, streamCtx context.Context) http.Handler {
+	return NewWithHealth(srv, streamCtx, srv.Health)
+}
+
+// NewWithHealth is New with an injectable health probe (the latch paths it
+// reports — diverged replicas, a failed WAL fsync — are one-way states a
+// handler test cannot cheaply enter for real).
+func NewWithHealth(srv *annotadb.Server, streamCtx context.Context, health func() error) http.Handler {
+	a := &api{srv: srv, streamCtx: streamCtx, health: health}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /rules", a.rules)
+	mux.HandleFunc("GET /recommend", a.recommend)
+	mux.HandleFunc("POST /annotations", a.annotations)
+	mux.HandleFunc("POST /tuples", a.tuples)
+	mux.HandleFunc("GET /stats", a.stats)
+	mux.HandleFunc("GET /events", a.events)
+	mux.HandleFunc("GET /healthz", a.healthz)
+	return mux
+}
+
+// RuleJSON is the wire form of one rule, as it appears in /rules,
+// /recommend, and event payloads.
+type RuleJSON struct {
+	LHS          []string `json:"lhs"`
+	RHS          string   `json:"rhs"`
+	Kind         string   `json:"kind"`
+	Support      float64  `json:"support"`
+	Confidence   float64  `json:"confidence"`
+	PatternCount int      `json:"pattern_count"`
+	LHSCount     int      `json:"lhs_count"`
+	N            int      `json:"n"`
+}
+
+func toRuleJSON(r annotadb.Rule) RuleJSON {
+	return RuleJSON{
+		LHS:          r.LHS,
+		RHS:          r.RHS,
+		Kind:         string(r.Kind),
+		Support:      r.Support,
+		Confidence:   r.Confidence,
+		PatternCount: r.PatternCount,
+		LHSCount:     r.LHSCount,
+		N:            r.N,
+	}
+}
+
+// RecommendationJSON is the wire form of one missing-annotation
+// recommendation in the /recommend response.
+type RecommendationJSON struct {
+	Tuple      int      `json:"tuple"`
+	Annotation string   `json:"annotation"`
+	Rule       RuleJSON `json:"rule"`
+}
+
+// ReportJSON is the wire form of an update report — the body of a
+// successful POST /annotations or POST /tuples. Seq is the snapshot
+// sequence current when the write was acknowledged: because updates
+// publish before they ack, every read at or after Seq observes this write
+// (SeqVector is the per-shard equivalent on sharded servers).
+type ReportJSON struct {
+	Operation       string   `json:"operation"`
+	Applied         int      `json:"applied"`
+	Skipped         int      `json:"skipped"`
+	Promoted        int      `json:"promoted"`
+	Demoted         int      `json:"demoted"`
+	Discovered      int      `json:"discovered"`
+	Dropped         int      `json:"dropped"`
+	Remined         bool     `json:"remined"`
+	DurationSeconds float64  `json:"duration_seconds"`
+	Seq             uint64   `json:"seq"`
+	SeqVector       []uint64 `json:"seq_vector,omitempty"`
+}
+
+func toReportJSON(r annotadb.UpdateReport) ReportJSON {
+	return ReportJSON{
+		Operation:       r.Operation,
+		Applied:         r.Applied,
+		Skipped:         r.Skipped,
+		Promoted:        r.Promoted,
+		Demoted:         r.Demoted,
+		Discovered:      r.Discovered,
+		Dropped:         r.Dropped,
+		Remined:         r.Remined,
+		DurationSeconds: r.DurationSeconds,
+		Seq:             r.Seq,
+		SeqVector:       r.SeqVector,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ErrorJSON is the wire form of the structured error schema.
+type ErrorJSON struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]ErrorJSON{"error": {Code: code, Message: err.Error()}})
+}
+
+// WriteUpdateError maps write-path failures to statuses: shutdown and
+// cancellation are availability problems (503, safe to retry elsewhere),
+// an overloaded admission queue is backpressure (429 with a Retry-After
+// hint — the write was shed, not applied), a journal failure is a
+// server-side fault (500, the request was valid and may be retried), and
+// everything else is a request defect (400).
+func WriteUpdateError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, annotadb.ErrServerClosed),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err)
+	case errors.Is(err, annotadb.ErrOverloaded):
+		// The queue stayed full for a whole batch window; one second is
+		// enough for the writer to drain hundreds of windows' worth.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, CodeOverloaded, err)
+	case errors.Is(err, annotadb.ErrJournal):
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
+	default:
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err)
+	}
+}
+
+// maxBodyBytes bounds update request bodies so an oversized payload cannot
+// buffer unbounded memory; generous for real batches (a Figure 14 line is
+// ~12 bytes, so this admits ~million-update batches).
+const maxBodyBytes = 16 << 20
+
+// writeBodyError distinguishes an over-limit body (413) from a malformed
+// one (400).
+func writeBodyError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("bad request body: %w", err))
+}
+
+func (a *api) rules(w http.ResponseWriter, r *http.Request) {
+	rules := a.srv.Rules()
+	if kind := r.URL.Query().Get("kind"); kind != "" {
+		if kind != string(annotadb.DataToAnnotation) && kind != string(annotadb.AnnotationToAnnotation) {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("unknown kind %q", kind))
+			return
+		}
+		filtered := rules[:0:0]
+		for _, rl := range rules {
+			if string(rl.Kind) == kind {
+				filtered = append(filtered, rl)
+			}
+		}
+		rules = filtered
+	}
+	if limitStr := r.URL.Query().Get("limit"); limitStr != "" {
+		limit, err := strconv.Atoi(limitStr)
+		if err != nil || limit < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("bad limit %q", limitStr))
+			return
+		}
+		if limit < len(rules) {
+			rules = rules[:limit]
+		}
+	}
+	out := make([]RuleJSON, len(rules))
+	for i, rl := range rules {
+		out[i] = toRuleJSON(rl)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "rules": out})
+}
+
+func (a *api) recommend(w http.ResponseWriter, r *http.Request) {
+	tupleStr := r.URL.Query().Get("tuple")
+	if tupleStr == "" {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, errors.New("missing tuple query parameter (zero-based tuple position)"))
+		return
+	}
+	idx, err := strconv.Atoi(tupleStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("bad tuple index %q", tupleStr))
+		return
+	}
+	if idx < 0 {
+		// Malformed input, not a miss: no negative index can ever exist.
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("tuple index must be non-negative, got %d", idx))
+		return
+	}
+	recs, seq, err := a.srv.RecommendAt(idx)
+	if err != nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
+		return
+	}
+	out := make([]RecommendationJSON, len(recs))
+	for i, rec := range recs {
+		out[i] = RecommendationJSON{
+			Tuple:      rec.Tuple,
+			Annotation: rec.Annotation,
+			Rule:       toRuleJSON(rec.Rule),
+		}
+	}
+	body := map[string]any{"tuple": idx, "seq": seq.Seq, "count": len(out), "recommendations": out}
+	if seq.Shards != nil {
+		// Sharded: the per-shard snapshot sequence vector the answer was
+		// assembled from.
+		body["seq_vector"] = seq.Shards
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+type annotationsRequest struct {
+	Updates []struct {
+		Tuple      int    `json:"tuple"`
+		Annotation string `json:"annotation"`
+	} `json:"updates"`
+	Remove bool `json:"remove"`
+}
+
+func (a *api) annotations(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	var (
+		rep annotadb.UpdateReport
+		err error
+	)
+	switch {
+	case strings.HasPrefix(ct, "text/plain"):
+		// The paper's Figure 14 batch format, 1-based tuple indexes.
+		rep, err = a.srv.ApplyUpdateFile(r.Context(), r.Body)
+	default:
+		var req annotationsRequest
+		if derr := json.NewDecoder(r.Body).Decode(&req); derr != nil {
+			writeBodyError(w, derr)
+			return
+		}
+		batch := make([]annotadb.AnnotationUpdate, len(req.Updates))
+		for i, u := range req.Updates {
+			batch[i] = annotadb.AnnotationUpdate{Tuple: u.Tuple, Annotation: u.Annotation}
+		}
+		if req.Remove {
+			rep, err = a.srv.RemoveAnnotations(r.Context(), batch)
+		} else {
+			rep, err = a.srv.AddAnnotations(r.Context(), batch)
+		}
+	}
+	if err != nil {
+		WriteUpdateError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toReportJSON(rep))
+}
+
+type tuplesRequest struct {
+	Tuples []struct {
+		Values      []string `json:"values"`
+		Annotations []string `json:"annotations"`
+	} `json:"tuples"`
+}
+
+func (a *api) tuples(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req tuplesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	batch := make([]annotadb.TupleSpec, len(req.Tuples))
+	for i, t := range req.Tuples {
+		batch[i] = annotadb.TupleSpec{Values: t.Values, Annotations: t.Annotations}
+	}
+	rep, err := a.srv.AddTuples(r.Context(), batch)
+	if err != nil {
+		WriteUpdateError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toReportJSON(rep))
+}
+
+func (a *api) stats(w http.ResponseWriter, r *http.Request) {
+	st := a.srv.Stats()
+	// The relation section (tuples, attachments, distinct annotations)
+	// describes the published snapshot's generation, computed from its
+	// frozen frequency table: polling /stats never takes the relation lock
+	// for more than the single live-version read, so it cannot stall the
+	// writer. staleness is how many relation mutations the live store is
+	// ahead of the generation reads are currently served from.
+	body := map[string]any{
+		"snapshot_seq":         st.SnapshotSeq,
+		"tuples":               st.Tuples,
+		"rule_count":           st.RuleCount,
+		"rel_version":          st.RelVersion,
+		"live_rel_version":     st.LiveRelVersion,
+		"staleness":            st.LiveRelVersion - st.RelVersion,
+		"requests":             st.Requests,
+		"batches":              st.Batches,
+		"coalesced":            st.Coalesced,
+		"reads":                st.Reads,
+		"shed":                 st.Shed,
+		"remines":              st.Remines,
+		"attachments":          st.Attachments,
+		"distinct_annotations": st.DistinctAnnotations,
+		// Per-stage write latency digests: queue wait (admission to apply),
+		// engine apply, covering group-commit fsync wait (zero counts unless
+		// -flush-window group commit is on), and snapshot publish.
+		"latency": map[string]any{
+			"queue":   stageJSON(st.Latency.Queue),
+			"apply":   stageJSON(st.Latency.Apply),
+			"fsync":   stageJSON(st.Latency.Fsync),
+			"publish": stageJSON(st.Latency.Publish),
+		},
+	}
+	if st.Shards > 0 {
+		// Sharded: the merged generation's identity plus a per-shard
+		// breakdown, so operators can see the write-load balance across
+		// family shards and each shard's snapshot staleness.
+		body["shards"] = st.Shards
+		body["seq_vector"] = st.SeqVector
+		perShard := make([]map[string]any, len(st.PerShard))
+		for i, ss := range st.PerShard {
+			perShard[i] = map[string]any{
+				"shard":                ss.Shard,
+				"seq":                  ss.SnapshotSeq,
+				"tuples":               ss.Tuples,
+				"rule_count":           ss.RuleCount,
+				"rel_version":          ss.RelVersion,
+				"live_rel_version":     ss.LiveRelVersion,
+				"staleness":            ss.LiveRelVersion - ss.RelVersion,
+				"attachments":          ss.Attachments,
+				"distinct_annotations": ss.DistinctAnnotations,
+				"requests":             ss.Requests,
+				"batches":              ss.Batches,
+				"coalesced":            ss.Coalesced,
+				"reads":                ss.Reads,
+				"shed":                 ss.Shed,
+				"remines":              ss.Remines,
+			}
+		}
+		body["per_shard"] = perShard
+	}
+	if ss := a.srv.StreamStats(); ss.Enabled {
+		// The churn stream: event volume, live subscribers, and the cursor
+		// range a client can still resume from.
+		streamBody := map[string]any{
+			"events_published": ss.EventsPublished,
+			"subscribers":      ss.Subscribers,
+			"gap_events":       ss.GapEvents,
+			"first_cursor":     ss.FirstCursor,
+			"next_cursor":      ss.NextCursor,
+		}
+		if len(ss.PerShard) > 1 {
+			streamBody["per_shard_events"] = ss.PerShard
+		}
+		body["stream"] = streamBody
+	}
+	if d := a.srv.Durability(); d != nil {
+		durability := map[string]any{
+			"records_appended":     d.RecordsAppended,
+			"log_bytes":            d.LogBytes,
+			"syncs":                d.Syncs,
+			"unsynced_records":     d.UnsyncedRecords,
+			"unsynced_bytes":       d.UnsyncedBytes,
+			"checkpoints":          d.Checkpoints,
+			"checkpoint_errors":    d.CheckpointErrors,
+			"recovered":            d.Recovery.FromCheckpoint,
+			"records_replayed":     d.Recovery.RecordsReplayed,
+			"torn_tail":            d.Recovery.TornTail,
+			"recovery_seconds":     d.Recovery.DurationSeconds,
+			"last_checkpoint_unix": float64(0),
+		}
+		if d.LastCheckpointUnixNano != 0 {
+			durability["last_checkpoint_unix"] = float64(d.LastCheckpointUnixNano) / float64(time.Second)
+		}
+		if d.PerShard != nil {
+			durability["padded_tuples"] = d.Recovery.PaddedTuples
+			per := make([]map[string]any, len(d.PerShard))
+			for i, ss := range d.PerShard {
+				per[i] = map[string]any{
+					"shard":             ss.Shard,
+					"records_appended":  ss.RecordsAppended,
+					"log_bytes":         ss.LogBytes,
+					"syncs":             ss.Syncs,
+					"unsynced_records":  ss.UnsyncedRecords,
+					"unsynced_bytes":    ss.UnsyncedBytes,
+					"checkpoints":       ss.Checkpoints,
+					"checkpoint_errors": ss.CheckpointErrors,
+				}
+			}
+			durability["per_shard"] = per
+		}
+		if ev := d.Events; ev != nil {
+			// The rotated-segment event log behind /events: one per server
+			// (sharded streams merge into a single cursor order beside the
+			// cluster manifest), so these counters are cluster-level.
+			durability["events"] = map[string]any{
+				"segments":        ev.Segments,
+				"first_cursor":    ev.FirstCursor,
+				"next_cursor":     ev.NextCursor,
+				"retained_bytes":  ev.RetainedBytes,
+				"appends":         ev.Appends,
+				"syncs":           ev.Syncs,
+				"rotations":       ev.Rotations,
+				"rotated_bytes":   ev.RotatedBytes,
+				"retention_trims": ev.RetentionTrims,
+				"trimmed_bytes":   ev.TrimmedBytes,
+			}
+		}
+		body["durability"] = durability
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// stageJSON renders one pipeline stage's latency digest (seconds, like the
+// other duration fields in /stats).
+func stageJSON(s annotadb.StageLatency) map[string]any {
+	return map[string]any{
+		"count":        s.Count,
+		"mean_seconds": s.Mean.Seconds(),
+		"p50_seconds":  s.P50.Seconds(),
+		"p99_seconds":  s.P99.Seconds(),
+		"max_seconds":  s.Max.Seconds(),
+	}
+}
+
+// healthz reports liveness and write-path health: 200 {"status":"ok"}
+// while writes can proceed, 503 {"status":"degraded","reason":...} once
+// the server latched an unrecoverable failure (diverged shard replicas, a
+// WAL fsync failure). Reads keep serving from published snapshots while
+// degraded; the probe tells load balancers to stop routing writes here
+// until a restart recovers.
+func (a *api) healthz(w http.ResponseWriter, r *http.Request) {
+	if err := a.health(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "degraded",
+			"reason": err.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// EventCountsJSON is the wire form of one side of a rule's count change.
+type EventCountsJSON struct {
+	PatternCount int     `json:"pattern_count"`
+	LHSCount     int     `json:"lhs_count"`
+	N            int     `json:"n"`
+	Support      float64 `json:"support"`
+	Confidence   float64 `json:"confidence"`
+}
+
+// EventJSON is the wire form of one churn event (the SSE data: payload).
+type EventJSON struct {
+	Cursor    uint64           `json:"cursor,omitempty"`
+	Seq       uint64           `json:"seq,omitempty"`
+	SeqVector []uint64         `json:"seq_vector,omitempty"`
+	Shard     int              `json:"shard"`
+	Kind      string           `json:"kind"`
+	Tier      string           `json:"tier,omitempty"`
+	Family    string           `json:"family,omitempty"`
+	LHS       []string         `json:"lhs,omitempty"`
+	RHS       string           `json:"rhs,omitempty"`
+	Old       *EventCountsJSON `json:"old,omitempty"`
+	New       *EventCountsJSON `json:"new,omitempty"`
+	From      uint64           `json:"from,omitempty"`
+	To        uint64           `json:"to,omitempty"`
+}
+
+func toEventCountsJSON(c *annotadb.RuleCounts) *EventCountsJSON {
+	if c == nil {
+		return nil
+	}
+	return &EventCountsJSON{
+		PatternCount: c.PatternCount,
+		LHSCount:     c.LHSCount,
+		N:            c.N,
+		Support:      c.Support,
+		Confidence:   c.Confidence,
+	}
+}
+
+func toEventJSON(ev annotadb.Event) EventJSON {
+	return EventJSON{
+		Cursor:    ev.Cursor,
+		Seq:       ev.Seq,
+		SeqVector: ev.SeqVector,
+		Shard:     ev.Shard,
+		Kind:      ev.Kind,
+		Tier:      ev.Tier,
+		Family:    ev.Family,
+		LHS:       ev.LHS,
+		RHS:       ev.RHS,
+		Old:       toEventCountsJSON(ev.Old),
+		New:       toEventCountsJSON(ev.New),
+		From:      ev.From,
+		To:        ev.To,
+	}
+}
+
+// events streams rule churn as Server-Sent Events. Resume: pass the last
+// cursor seen as the Last-Event-ID header (the standard SSE reconnect
+// behavior — every non-gap event carries id: <cursor>) or as ?from=C to
+// start at cursor C inclusively; with neither, the stream starts live.
+// Filters: repeatable family= and kind= parameters, and tier=valid or
+// tier=candidate. A position older than retained history yields one
+// event: gap frame, then the stream continues from the oldest retained
+// event.
+func (a *api) events(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	opts := annotadb.SubscribeOptions{
+		Families: q["family"],
+		Kinds:    q["kind"],
+		Tier:     q.Get("tier"),
+	}
+	if v := q.Get("from"); v != "" {
+		from, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || from == 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("bad from cursor %q (cursors start at 1)", v))
+			return
+		}
+		opts.FromSeq = from
+	} else if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		last, err := strconv.ParseUint(strings.TrimSpace(lei), 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("bad Last-Event-ID %q", lei))
+			return
+		}
+		opts.FromSeq = last + 1
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, CodeInternal, errors.New("response writer does not support streaming"))
+		return
+	}
+	// The stream ends when the client disconnects or the server shuts down.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(a.streamCtx, cancel)
+	defer stop()
+	ch, err := a.srv.Subscribe(ctx, opts)
+	if err != nil {
+		if errors.Is(err, annotadb.ErrStreamDisabled) {
+			writeError(w, http.StatusNotFound, CodeNotFound, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for ev := range ch {
+		data, err := json.Marshal(toEventJSON(ev))
+		if err != nil {
+			return
+		}
+		// Gap events are synthetic and carry no id: a reconnect must resume
+		// from the last real cursor, not from a per-subscriber artifact.
+		if ev.Kind != annotadb.EventGap {
+			fmt.Fprintf(w, "id: %d\n", ev.Cursor)
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
+		flusher.Flush()
+	}
+}

@@ -1,0 +1,70 @@
+package load
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestOverloadAccountingExact pins the shed-accounting contract end to
+// end: with the admission queue squeezed to depth 1 and a durable store
+// whose group-commit fsync lingers 5ms (so batch acknowledgement — and
+// with it the writer's ack handoff — is paced well below the offered
+// write rate), an open-loop write-heavy run must shed — and every shed
+// must be visible on both sides of the wire with nothing lost or double
+// counted. Client 429 responses (counted once per response, retries
+// disabled) must equal the server's Shed counter exactly, and the
+// server's Requests counter must count exactly the client's acknowledged
+// (2xx) writes.
+func TestOverloadAccountingExact(t *testing.T) {
+	l, err := StartLocal(LocalOptions{
+		Corpus:      "metrics",
+		Tuples:      800,
+		Seed:        3,
+		Dir:         t.TempDir(),
+		QueueDepth:  1,
+		FlushWindow: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, l)
+
+	before := l.Server.Stats()
+	if before.Shed != 0 || before.Requests != 0 {
+		t.Fatalf("fresh server has Shed=%d Requests=%d; accounting baseline is dirty", before.Shed, before.Requests)
+	}
+	rep, err := Run(context.Background(), Target{BaseURL: l.URL}, Scenario{
+		Name:             "overload",
+		Mode:             "open",
+		Corpus:           "metrics",
+		DurationSeconds:  2,
+		Rate:             600,
+		ReadFraction:     0.1,
+		AnnotateFraction: 0.7,
+		TupleFraction:    0.2,
+		MaxRetries:       0, // a shed write is abandoned, so 429s map 1:1 to requests
+		Seed:             21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := l.Server.Stats()
+
+	if n := rep.Recommend.Errors + rep.Annotations.Errors + rep.Tuples.Errors; n != 0 {
+		t.Fatalf("%d transport errors would skew the accounting", n)
+	}
+	if rep.TotalShed() == 0 {
+		t.Fatal("queue-depth 1 under a 600 req/s write-heavy open loop shed nothing; the overload path was not exercised")
+	}
+	if got, want := after.Shed-before.Shed, rep.TotalShed(); got != want {
+		t.Fatalf("server shed %d writes but clients saw %d 429s", got, want)
+	}
+	clientWrites := rep.Annotations.Requests + rep.Tuples.Requests
+	if got := after.Requests - before.Requests; got != clientWrites {
+		t.Fatalf("server admitted %d write requests but clients got %d write acks", got, clientWrites)
+	}
+	if rep.SeqRegressions != 0 {
+		t.Fatalf("%d read-your-writes violations under overload", rep.SeqRegressions)
+	}
+}

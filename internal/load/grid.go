@@ -1,0 +1,278 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Experiments describes a grid of load scenarios: a base scenario, a
+// parameter grid crossed over it, a repeat count, and (optionally) extra
+// hand-written scenarios appended verbatim. It is the schema of the
+// experiments.json file cmd/annotload -experiments consumes.
+type Experiments struct {
+	// Base is the scenario every grid cell starts from.
+	Base Scenario `json:"base"`
+	// Grid maps scenario JSON field names (e.g. "mode", "rate",
+	// "concurrency") to the values to sweep. The cells are the full cross
+	// product over all keys, in sorted-key order.
+	Grid map[string][]any `json:"grid"`
+	// Repeats runs each cell this many times (default 1), bumping the
+	// seed per repeat so repeats are independent but reproducible.
+	Repeats int `json:"repeats"`
+	// Scenarios are extra standalone scenarios run after the grid.
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// Cell is one expanded (scenario, repeat) grid point.
+type Cell struct {
+	// Name is the cell's label: the base name plus its grid assignment
+	// and repeat suffix.
+	Name string `json:"name"`
+	// Params is the grid assignment that produced the cell (nil for
+	// standalone scenarios).
+	Params map[string]any `json:"params,omitempty"`
+	// Repeat is the zero-based repeat index.
+	Repeat int `json:"repeat"`
+	// Scenario is the fully resolved configuration the cell runs.
+	Scenario Scenario `json:"scenario"`
+}
+
+// CellResult pairs a cell with its run report.
+type CellResult struct {
+	Cell
+	// Report is the run's client-side measurement.
+	Report *Report `json:"report"`
+}
+
+// Cells expands the experiment grid into concrete runnable cells: the
+// cross product of Grid over Base (sorted-key order, so expansion is
+// deterministic), times Repeats, followed by the standalone Scenarios.
+// Unknown grid keys and type mismatches are errors, not silent no-ops.
+func (e Experiments) Cells() ([]Cell, error) {
+	repeats := e.Repeats
+	if repeats <= 0 {
+		repeats = 1
+	}
+	keys := make([]string, 0, len(e.Grid))
+	for k := range e.Grid {
+		if len(e.Grid[k]) == 0 {
+			return nil, fmt.Errorf("load: grid key %q has no values", k)
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	assignments := []map[string]any{{}}
+	for _, k := range keys {
+		next := make([]map[string]any, 0, len(assignments)*len(e.Grid[k]))
+		for _, base := range assignments {
+			for _, v := range e.Grid[k] {
+				a := make(map[string]any, len(base)+1)
+				for bk, bv := range base {
+					a[bk] = bv
+				}
+				a[k] = v
+				next = append(next, a)
+			}
+		}
+		assignments = next
+	}
+
+	// With nothing to sweep, the base itself is the single grid cell —
+	// unless standalone scenarios carry the run, in which case a bare
+	// base would just duplicate work nobody asked for.
+	if len(keys) == 0 && len(e.Scenarios) > 0 {
+		assignments = nil
+	}
+
+	var cells []Cell
+	for _, a := range assignments {
+		sc, err := applyParams(e.Base, a)
+		if err != nil {
+			return nil, err
+		}
+		name := sc.Name
+		if name == "" {
+			name = "grid"
+		}
+		for _, k := range keys {
+			name += fmt.Sprintf("/%s=%v", k, a[k])
+		}
+		for r := 0; r < repeats; r++ {
+			cell := sc
+			cell.Name = name
+			cell.Seed += int64(r) * 7919
+			params := a
+			if len(params) == 0 {
+				params = nil
+			}
+			cells = append(cells, Cell{Name: name, Params: params, Repeat: r, Scenario: cell.WithDefaults()})
+		}
+	}
+	for i, sc := range e.Scenarios {
+		name := sc.Name
+		if name == "" {
+			name = fmt.Sprintf("scenario-%d", i)
+		}
+		for r := 0; r < repeats; r++ {
+			cell := sc
+			cell.Name = name
+			cell.Seed += int64(r) * 7919
+			cells = append(cells, Cell{Name: name, Repeat: r, Scenario: cell.WithDefaults()})
+		}
+	}
+	for _, c := range cells {
+		if err := c.Scenario.Validate(); err != nil {
+			return nil, fmt.Errorf("load: cell %s repeat %d: %w", c.Name, c.Repeat, err)
+		}
+	}
+	return cells, nil
+}
+
+// applyParams overrides scenario fields by their JSON names, strictly: an
+// assignment that does not correspond to a Scenario field (or whose value
+// does not decode into it) is an error.
+func applyParams(base Scenario, params map[string]any) (Scenario, error) {
+	raw, err := json.Marshal(base)
+	if err != nil {
+		return Scenario{}, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Scenario{}, err
+	}
+	for k, v := range params {
+		if _, ok := m[k]; !ok {
+			return Scenario{}, fmt.Errorf("load: grid key %q is not a scenario field", k)
+		}
+		m[k] = v
+	}
+	merged, err := json.Marshal(m)
+	if err != nil {
+		return Scenario{}, err
+	}
+	var out Scenario
+	dec := json.NewDecoder(bytes.NewReader(merged))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&out); err != nil {
+		return Scenario{}, fmt.Errorf("load: grid override does not fit scenario: %w", err)
+	}
+	return out, nil
+}
+
+// RunCells runs the cells sequentially against targets produced by
+// newTarget — one fresh target per cell, so cells do not contaminate each
+// other's server state. cleanup (when non-nil) is called after the cell's
+// run. progress (when non-nil) is told each cell as it starts.
+func RunCells(ctx context.Context, cells []Cell,
+	newTarget func(Cell) (Target, func() error, error),
+	progress func(Cell)) ([]CellResult, error) {
+	results := make([]CellResult, 0, len(cells))
+	for _, c := range cells {
+		if ctx.Err() != nil {
+			return results, ctx.Err()
+		}
+		if progress != nil {
+			progress(c)
+		}
+		tgt, cleanup, err := newTarget(c)
+		if err != nil {
+			return results, fmt.Errorf("load: cell %s repeat %d: start target: %w", c.Name, c.Repeat, err)
+		}
+		rep, runErr := Run(ctx, tgt, c.Scenario)
+		var cleanErr error
+		if cleanup != nil {
+			cleanErr = cleanup()
+		}
+		if runErr != nil {
+			return results, fmt.Errorf("load: cell %s repeat %d: %w", c.Name, c.Repeat, runErr)
+		}
+		if cleanErr != nil {
+			return results, fmt.Errorf("load: cell %s repeat %d: stop target: %w", c.Name, c.Repeat, cleanErr)
+		}
+		results = append(results, CellResult{Cell: c, Report: rep})
+	}
+	return results, nil
+}
+
+// GridSummary is the JSON summary written next to the CSV: every cell
+// result plus the parameter keys that varied.
+type GridSummary struct {
+	// GridKeys are the swept parameter names (sorted).
+	GridKeys []string `json:"grid_keys"`
+	// Cells are the per-run results in execution order.
+	Cells []CellResult `json:"cells"`
+}
+
+// Summarize builds the grid summary from results.
+func Summarize(results []CellResult) GridSummary {
+	keySet := map[string]bool{}
+	for _, r := range results {
+		for k := range r.Params {
+			keySet[k] = true
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return GridSummary{GridKeys: keys, Cells: results}
+}
+
+// WriteCSV renders results as one CSV row per run: identity and grid
+// parameters first, then throughput, per-endpoint counters and latency
+// quantiles, and the SSE digests.
+func WriteCSV(w io.Writer, results []CellResult) error {
+	keys := Summarize(results).GridKeys
+	header := []string{"name", "repeat"}
+	for _, k := range keys {
+		header = append(header, "param_"+k)
+	}
+	header = append(header,
+		"mode", "corpus", "seed", "duration_s", "offered_rps", "achieved_rps",
+		"completed", "shed", "errors", "seq_regressions",
+		"recommend_requests", "recommend_p50_ms", "recommend_p99_ms", "recommend_max_ms",
+		"annotations_requests", "annotations_shed", "annotations_retries", "annotations_p50_ms", "annotations_p99_ms",
+		"tuples_requests", "tuples_shed", "tuples_retries", "tuples_p50_ms", "tuples_p99_ms",
+		"sse_subscribers", "sse_events", "sse_gaps", "sse_resumes", "sse_cursor_regressions",
+	)
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for _, r := range results {
+		rep := r.Report
+		row := []string{r.Name, strconv.Itoa(r.Repeat)}
+		for _, k := range keys {
+			if v, ok := r.Params[k]; ok {
+				row = append(row, fmt.Sprint(v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		errorsTotal := rep.Recommend.Errors + rep.Annotations.Errors + rep.Tuples.Errors
+		row = append(row,
+			rep.Scenario.Mode, rep.Scenario.Corpus, strconv.FormatInt(rep.Scenario.Seed, 10),
+			f(rep.DurationSeconds), f(rep.OfferedRPS), f(rep.AchievedRPS),
+			u(rep.Completed), u(rep.TotalShed()), u(errorsTotal), u(rep.SeqRegressions),
+			u(rep.Recommend.Requests), f(rep.Recommend.P50Millis), f(rep.Recommend.P99Millis), f(rep.Recommend.MaxMillis),
+			u(rep.Annotations.Requests), u(rep.Annotations.Shed), u(rep.Annotations.Retries), f(rep.Annotations.P50Millis), f(rep.Annotations.P99Millis),
+			u(rep.Tuples.Requests), u(rep.Tuples.Shed), u(rep.Tuples.Retries), f(rep.Tuples.P50Millis), f(rep.Tuples.P99Millis),
+			u(uint64(rep.SSE.Subscribers)), u(rep.SSE.Events), u(rep.SSE.Gaps), u(rep.SSE.Resumes), u(rep.SSE.CursorRegressions),
+		)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

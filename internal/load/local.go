@@ -1,0 +1,180 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"annotadb"
+	"annotadb/internal/httpapi"
+	"annotadb/internal/workload"
+)
+
+// LocalOptions configure StartLocal's in-process server: the same
+// construction paths cmd/annotserve uses (in-memory, in-memory sharded,
+// or durable), seeded from a generated corpus instead of a dataset file.
+type LocalOptions struct {
+	// Corpus and Tuples describe the seed relation ("paper" × 2000 when
+	// zero); Seed drives its generation.
+	Corpus string
+	Tuples int
+	Seed   int64
+	// Shards > 1 partitions the write path by annotation family.
+	Shards int
+	// Dir, when non-empty, makes the server durable (WAL + checkpoints in
+	// Dir; reopening the same Dir recovers instead of re-seeding).
+	Dir string
+	// QueueDepth, BatchWindow, and FlushWindow tune the write path
+	// (admission queue bound, coalescing linger, WAL group commit).
+	QueueDepth  int
+	BatchWindow time.Duration
+	FlushWindow time.Duration
+	// Events serves GET /events; RetainAllEvents disables event-segment
+	// retention trimming so any cursor stays resumable (what a test that
+	// replays the full event record needs).
+	Events          bool
+	RetainAllEvents bool
+	// MinSupport and MinConfidence are the mining thresholds (paper
+	// defaults 0.4 / 0.8 when zero).
+	MinSupport    float64
+	MinConfidence float64
+}
+
+// Local is an in-process annotserve equivalent: the production Server
+// behind the production internal/httpapi handler on a real loopback
+// listener.
+type Local struct {
+	// Server is the serving core (for Stats, Durability, Subscribe).
+	Server *annotadb.Server
+	// URL is the base URL of the loopback listener.
+	URL string
+
+	httpSrv     *http.Server
+	ln          net.Listener
+	stopStreams context.CancelFunc
+	serveErr    chan error
+}
+
+// StartLocal boots an in-process server per the options. Close releases
+// it; a non-empty Dir can then be reopened by a later StartLocal to
+// exercise recovery.
+func StartLocal(o LocalOptions) (*Local, error) {
+	if o.Tuples <= 0 {
+		o.Tuples = 2000
+	}
+	if o.MinSupport == 0 {
+		o.MinSupport = 0.4
+	}
+	if o.MinConfidence == 0 {
+		o.MinConfidence = 0.8
+	}
+	opts := annotadb.Options{MinSupport: o.MinSupport, MinConfidence: o.MinConfidence}
+	retain := 0
+	if o.RetainAllEvents {
+		retain = -1
+	}
+	sopts := annotadb.ServeOptions{
+		BatchWindow: o.BatchWindow,
+		QueueDepth:  o.QueueDepth,
+		Shards:      o.Shards,
+		Stream: annotadb.StreamOptions{
+			Disabled:       !o.Events,
+			RetainSegments: retain,
+			FlushWindow:    o.FlushWindow,
+		},
+	}
+	seedDataset := func() (*annotadb.Dataset, error) {
+		stream, err := workload.NewStream(o.Corpus, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ds := annotadb.NewDataset()
+		for i, tu := range stream.Base(o.Tuples) {
+			if _, err := ds.AddTuple(tu.Values, tu.Annotations); err != nil {
+				return nil, fmt.Errorf("load: seed tuple %d: %w", i, err)
+			}
+		}
+		return ds, nil
+	}
+	var (
+		srv *annotadb.Server
+		err error
+	)
+	switch {
+	case o.Dir != "":
+		var ds *annotadb.Dataset
+		if !annotadb.HasDurableState(o.Dir) {
+			if ds, err = seedDataset(); err != nil {
+				return nil, err
+			}
+		} else {
+			ds = annotadb.NewDataset()
+		}
+		eng, _, derr := annotadb.OpenDurableDataset(ds, opts, annotadb.DurabilityOptions{
+			Dir:         o.Dir,
+			Shards:      o.Shards,
+			FlushWindow: o.FlushWindow,
+		})
+		if derr != nil {
+			return nil, derr
+		}
+		srv, err = annotadb.NewServer(eng, sopts)
+	case o.Shards > 1:
+		var ds *annotadb.Dataset
+		if ds, err = seedDataset(); err != nil {
+			return nil, err
+		}
+		srv, err = annotadb.NewShardedServer(ds, opts, sopts)
+	default:
+		var ds *annotadb.Dataset
+		if ds, err = seedDataset(); err != nil {
+			return nil, err
+		}
+		var eng *annotadb.Engine
+		eng, err = annotadb.NewEngine(ds, opts)
+		if err == nil {
+			srv, err = annotadb.NewServer(eng, sopts)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	streamCtx, stopStreams := context.WithCancel(context.Background())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		stopStreams()
+		closeCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Close(closeCtx)
+		return nil, err
+	}
+	hs := &http.Server{Handler: httpapi.New(srv, streamCtx)}
+	l := &Local{
+		Server:      srv,
+		URL:         "http://" + ln.Addr().String(),
+		httpSrv:     hs,
+		ln:          ln,
+		stopStreams: stopStreams,
+		serveErr:    make(chan error, 1),
+	}
+	go func() { l.serveErr <- hs.Serve(ln) }()
+	return l, nil
+}
+
+// Close shuts the server down the way cmd/annotserve does: event streams
+// first (they never end on their own), then in-flight HTTP draining, then
+// the serving core (queued update batches drain; a durable server writes
+// its final checkpoint).
+func (l *Local) Close(ctx context.Context) error {
+	l.stopStreams()
+	shutdownErr := l.httpSrv.Shutdown(ctx)
+	closeErr := l.Server.Close(ctx)
+	<-l.serveErr
+	if shutdownErr != nil {
+		return shutdownErr
+	}
+	return closeErr
+}

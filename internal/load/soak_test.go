@@ -1,0 +1,286 @@
+package load
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"annotadb"
+)
+
+// soakPhaseSeconds is one phase's duration: the suite runs two phases
+// around a kill-and-reopen. ANNOTLOAD_SOAK_SECONDS overrides the total
+// (CI's race job raises it to a real soak; the default keeps plain
+// go test fast).
+func soakPhaseSeconds(t *testing.T) float64 {
+	total := 5.0
+	if v := os.Getenv("ANNOTLOAD_SOAK_SECONDS"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			t.Fatalf("bad ANNOTLOAD_SOAK_SECONDS %q", v)
+		}
+		total = f
+	}
+	return total / 2
+}
+
+// TestSoakDurableShardedRecovery is the macro soak: a durable 4-shard
+// server with the event stream on, under a mixed open-loop load with SSE
+// subscribers forced through periodic resumes, killed and reopened midway.
+// It asserts, end to end over real HTTP under the race detector:
+//
+//   - no transport errors and no read-your-writes violations (every
+//     /recommend answer's seq is at or above the highest write ack the
+//     client had seen) in either phase;
+//   - exact shed accounting per phase (client 429s == server Shed delta)
+//     and exact admitted-write accounting (client write acks == server
+//     Requests delta);
+//   - recovery equivalence: the reopened server serves the same relation
+//     shape and the same rules as the one that was closed;
+//   - the recording subscriber's cursor record — across forced
+//     reconnect-resumes and the server restart — is one uninterrupted
+//     dense sequence with no gap frames (retention is unbounded) and no
+//     regressions;
+//   - no goroutine leaks once everything is shut down.
+func TestSoakDurableShardedRecovery(t *testing.T) {
+	phase := soakPhaseSeconds(t)
+	baseGoroutines := runtime.NumGoroutine()
+	dir := t.TempDir()
+	opts := LocalOptions{
+		Corpus:          "metrics",
+		Tuples:          1200,
+		Seed:            5,
+		Shards:          4,
+		Dir:             dir,
+		Events:          true,
+		RetainAllEvents: true,
+		// The metrics corpus plants correlations (e.g. img=i0 → cpu:high)
+		// at ~0.1 support — far below the paper-default 0.4 threshold, so
+		// the soak mines with thresholds matched to the corpus.
+		MinSupport:    0.05,
+		MinConfidence: 0.5,
+	}
+	scenario := Scenario{
+		Name:                       "soak",
+		Mode:                       "open",
+		Corpus:                     "metrics",
+		DurationSeconds:            phase,
+		Rate:                       400,
+		ReadFraction:               0.6,
+		AnnotateFraction:           0.3,
+		TupleFraction:              0.1,
+		Subscribers:                2,
+		SubscriberReconnectSeconds: 0.8,
+		MaxRetries:                 2,
+		Seed:                       11,
+	}
+
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	subClient := &http.Client{Transport: tr}
+	defer subClient.CloseIdleConnections()
+
+	// --- phase 1: fresh server -----------------------------------------
+	l1, err := StartLocal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recording subscriber attaches before any churn happens (a
+	// cursor-less subscription starts live), so its record must cover the
+	// event log from the first event on. Forced reconnects every 600ms
+	// push it through the Last-Event-ID resume path over and over.
+	sub1 := newSSEClient(l1.URL, subClient, 600*time.Millisecond, true)
+	subCtx1, cancelSub1 := context.WithCancel(context.Background())
+	sub1Done := make(chan struct{})
+	go func() { defer close(sub1Done); sub1.run(subCtx1) }()
+	time.Sleep(50 * time.Millisecond)
+
+	rep1, err := Run(context.Background(), Target{BaseURL: l1.URL}, scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPhase(t, "phase 1", rep1)
+	stats1 := l1.Server.Stats()
+	checkShardedAccounting(t, "phase 1", rep1, stats1.Shed, stats1.Requests)
+	if stats1.Shards != 4 {
+		t.Fatalf("server runs %d shards, want 4", stats1.Shards)
+	}
+	rules1 := renderedRuleSet(l1.Server)
+	if len(rules1) == 0 {
+		t.Fatal("phase 1 ended with no mined rules; the corpus or thresholds are off")
+	}
+
+	// Let the subscriber catch up to the full event record, then kill.
+	waitCaughtUp(t, sub1, l1)
+	cancelSub1()
+	<-sub1Done
+	mustClose(t, l1)
+
+	// --- reopen: recovery must reproduce the closed server -------------
+	l2, err := StartLocal(opts)
+	if err != nil {
+		t.Fatalf("reopen %s: %v", dir, err)
+	}
+	dur := l2.Server.Durability()
+	if dur == nil {
+		t.Fatal("reopened server reports no durability stats")
+	}
+	if !dur.Recovery.FromCheckpoint {
+		t.Errorf("clean close + reopen bootstrapped instead of recovering from checkpoints")
+	}
+	if dur.Recovery.Shards != 4 {
+		t.Errorf("recovered %d shards, want 4", dur.Recovery.Shards)
+	}
+	stats2 := l2.Server.Stats()
+	if stats2.Tuples != stats1.Tuples || stats2.Attachments != stats1.Attachments ||
+		stats2.DistinctAnnotations != stats1.DistinctAnnotations {
+		t.Fatalf("recovered relation (%d tuples, %d attachments, %d annotations) differs from the killed server's (%d, %d, %d)",
+			stats2.Tuples, stats2.Attachments, stats2.DistinctAnnotations,
+			stats1.Tuples, stats1.Attachments, stats1.DistinctAnnotations)
+	}
+	rules2 := renderedRuleSet(l2.Server)
+	if len(rules1) != len(rules2) {
+		t.Fatalf("recovered server mines %d rules, killed server had %d", len(rules2), len(rules1))
+	}
+	for i := range rules1 {
+		if rules1[i] != rules2[i] {
+			t.Fatalf("recovered rule %d differs:\n  before: %s\n  after:  %s", i, rules1[i], rules2[i])
+		}
+	}
+
+	// --- phase 2: load the recovered server, subscriber resumes across
+	// the restart (durable cursors survive a clean restart) -------------
+	sub2 := newSSEClient(l2.URL, subClient, 600*time.Millisecond, true)
+	sub2.lastCursor.Store(sub1.lastCursor.Load())
+	subCtx2, cancelSub2 := context.WithCancel(context.Background())
+	sub2Done := make(chan struct{})
+	go func() { defer close(sub2Done); sub2.run(subCtx2) }()
+
+	sc2 := scenario
+	sc2.Seed = 12
+	rep2, err := Run(context.Background(), Target{BaseURL: l2.URL}, sc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPhase(t, "phase 2", rep2)
+	stats3 := l2.Server.Stats()
+	checkShardedAccounting(t, "phase 2", rep2, stats3.Shed-stats2.Shed, stats3.Requests-stats2.Requests)
+
+	waitCaughtUp(t, sub2, l2)
+	cancelSub2()
+	<-sub2Done
+	mustClose(t, l2)
+
+	// --- the uninterrupted event record --------------------------------
+	if n := sub1.gaps.Load() + sub2.gaps.Load(); n != 0 {
+		t.Fatalf("%d gap frames under unbounded retention; resumes lost history", n)
+	}
+	if n := sub1.regressions.Load() + sub2.regressions.Load(); n != 0 {
+		t.Fatalf("%d cursor regressions on the recording subscribers", n)
+	}
+	if sub1.resumes.Load() == 0 || sub2.resumes.Load() == 0 {
+		t.Fatalf("forced reconnects performed no resumes (%d, %d); the resume path went unexercised",
+			sub1.resumes.Load(), sub2.resumes.Load())
+	}
+	record := append(sub1.Cursors(), sub2.Cursors()...)
+	if len(record) == 0 {
+		t.Fatal("recording subscribers saw no events")
+	}
+	for i := 1; i < len(record); i++ {
+		if record[i] != record[i-1]+1 {
+			t.Fatalf("event record breaks at %d: cursor %d follows %d — resume replay skipped or repeated history",
+				i, record[i], record[i-1])
+		}
+	}
+
+	// --- goroutine leak check ------------------------------------------
+	subClient.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseGoroutines+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d live, started with %d\n%s",
+				runtime.NumGoroutine(), baseGoroutines, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// checkShardedAccounting applies the sharded write-accounting contract: a
+// client write fans out to one per-shard request per touched annotation
+// family (tuple appends replicate to every shard), so the server's
+// Requests and Shed counters dominate — never trail — the client-side
+// counts, and a shard never sheds invisibly (any shard shed surfaces as a
+// client 429). The exact 1:1 contract is the unsharded
+// TestOverloadAccountingExact's.
+func checkShardedAccounting(t *testing.T, phase string, rep *Report, serverShed, serverRequests uint64) {
+	t.Helper()
+	clientAcks := rep.Annotations.Requests + rep.Tuples.Requests
+	if serverRequests < clientAcks {
+		t.Fatalf("%s: server admitted %d per-shard writes but clients got %d acks — acks without admission", phase, serverRequests, clientAcks)
+	}
+	if serverShed < rep.TotalShed() {
+		t.Fatalf("%s: server shed %d but clients saw %d 429s — 429s without sheds", phase, serverShed, rep.TotalShed())
+	}
+	if serverShed > 0 && rep.TotalShed() == 0 {
+		t.Fatalf("%s: server shed %d per-shard writes invisibly (no client saw a 429)", phase, serverShed)
+	}
+}
+
+// checkPhase applies the per-phase invariants every soak phase must hold.
+func checkPhase(t *testing.T, phase string, rep *Report) {
+	t.Helper()
+	if rep.Completed == 0 {
+		t.Fatalf("%s: no completed requests", phase)
+	}
+	if n := rep.Recommend.Errors + rep.Annotations.Errors + rep.Tuples.Errors; n != 0 {
+		t.Fatalf("%s: %d transport errors", phase, n)
+	}
+	if rep.SeqRegressions != 0 {
+		t.Fatalf("%s: %d read-your-writes violations", phase, rep.SeqRegressions)
+	}
+	if rep.SSE.CursorRegressions != 0 {
+		t.Fatalf("%s: %d SSE cursor regressions on the load subscribers", phase, rep.SSE.CursorRegressions)
+	}
+	t.Logf("%s: %d completed (%.0f req/s), %d shed, %d retries, sse %d events / %d resumes",
+		phase, rep.Completed, rep.AchievedRPS, rep.TotalShed(),
+		rep.Annotations.Retries+rep.Tuples.Retries, rep.SSE.Events, rep.SSE.Resumes)
+}
+
+// waitCaughtUp waits until the recording subscriber has consumed the
+// durable event log's whole tail (its periodic resume loop replays
+// anything the in-flight connection missed).
+func waitCaughtUp(t *testing.T, c *sseClient, l *Local) {
+	t.Helper()
+	dur := l.Server.Durability()
+	if dur == nil || dur.Events == nil {
+		t.Fatal("no durable event log to catch up against")
+	}
+	target := dur.Events.NextCursor - 1
+	deadline := time.Now().Add(15 * time.Second)
+	for c.lastCursor.Load() < target {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber stuck at cursor %d of %d", c.lastCursor.Load(), target)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// renderedRuleSet renders a server's rules to sorted strings, the form
+// the recovery-equivalence comparison uses.
+func renderedRuleSet(s *annotadb.Server) []string {
+	rules := s.Rules()
+	out := make([]string, len(rules))
+	for i, r := range rules {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return out
+}

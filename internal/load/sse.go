@@ -1,0 +1,129 @@
+package load
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sseClient is one long-lived GET /events subscriber. It reconnects with
+// Last-Event-ID whenever its stream ends (counting each reconnect as a
+// resume), counts gap frames, and checks that cursors strictly advance
+// across the whole subscription — including across resumes, where the
+// server must replay from exactly the next cursor.
+type sseClient struct {
+	base   string
+	client *http.Client
+	// reconnectEvery > 0 drops the stream on that period to exercise the
+	// resume path even when the server never closes it.
+	reconnectEvery time.Duration
+
+	events      atomic.Uint64
+	gaps        atomic.Uint64
+	resumes     atomic.Uint64
+	regressions atomic.Uint64
+	lastCursor  atomic.Uint64
+
+	// record holds every non-gap cursor observed, in order, when
+	// recording is on (the soak test replays it against the durable event
+	// log).
+	recording bool
+	mu        sync.Mutex
+	record    []uint64
+}
+
+func newSSEClient(base string, client *http.Client, reconnectEvery time.Duration, recording bool) *sseClient {
+	return &sseClient{base: base, client: client, reconnectEvery: reconnectEvery, recording: recording}
+}
+
+// Cursors returns a copy of the recorded cursor sequence.
+func (c *sseClient) Cursors() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, len(c.record))
+	copy(out, c.record)
+	return out
+}
+
+// run subscribes until ctx is canceled, reconnecting (with resume) as
+// needed.
+func (c *sseClient) run(ctx context.Context) {
+	first := true
+	for ctx.Err() == nil {
+		if !first {
+			c.resumes.Add(1)
+		}
+		c.subscribeOnce(ctx)
+		first = false
+		// Brief pause before reconnecting so a refusing server (stream
+		// disabled, shutting down) is not hammered.
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// subscribeOnce holds one stream until it ends, the reconnect period
+// elapses, or ctx is canceled.
+func (c *sseClient) subscribeOnce(ctx context.Context) {
+	connCtx := ctx
+	var cancel context.CancelFunc
+	if c.reconnectEvery > 0 {
+		connCtx, cancel = context.WithTimeout(ctx, c.reconnectEvery)
+	} else {
+		connCtx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	req, err := http.NewRequestWithContext(connCtx, http.MethodGet, c.base+"/events", nil)
+	if err != nil {
+		return
+	}
+	if last := c.lastCursor.Load(); last > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(last, 10))
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev struct {
+			Cursor uint64 `json:"cursor"`
+			Kind   string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			continue
+		}
+		if ev.Kind == "gap" {
+			c.gaps.Add(1)
+			continue
+		}
+		c.events.Add(1)
+		if prev := c.lastCursor.Load(); ev.Cursor <= prev {
+			c.regressions.Add(1)
+		}
+		c.lastCursor.Store(ev.Cursor)
+		if c.recording {
+			c.mu.Lock()
+			c.record = append(c.record, ev.Cursor)
+			c.mu.Unlock()
+		}
+	}
+}

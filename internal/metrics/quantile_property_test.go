@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// exactQuantile returns the true q-th percentile of sorted observations,
+// using the same rank definition the histogram documents: the
+// ceil(q/100·n)-th observation, 1-based.
+func exactQuantile(sorted []int64, q uint64) int64 {
+	n := uint64(len(sorted))
+	rank := (n*q + 99) / 100
+	if rank == 0 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantilePropertyBounds is the histogram's accuracy contract as a
+// property test: for randomized observation sets drawn from several
+// latency-like distributions, the reported P50 and P99 are never below
+// the exact quantile and never more than the documented ~25% bucket
+// width above it.
+func TestQuantilePropertyBounds(t *testing.T) {
+	distributions := []struct {
+		name string
+		draw func(r *rand.Rand) int64
+	}{
+		{"uniform-ns", func(r *rand.Rand) int64 { return r.Int63n(1000) }},
+		{"uniform-us", func(r *rand.Rand) int64 { return r.Int63n(int64(time.Millisecond)) }},
+		{"exponential", func(r *rand.Rand) int64 {
+			return int64(r.ExpFloat64() * float64(200*time.Microsecond))
+		}},
+		{"bimodal", func(r *rand.Rand) int64 {
+			// Mostly-fast with a heavy slow tail, the shape a shedding
+			// server under overload produces.
+			if r.Float64() < 0.95 {
+				return int64(50*time.Microsecond) + r.Int63n(int64(20*time.Microsecond))
+			}
+			return int64(5*time.Millisecond) + r.Int63n(int64(10*time.Millisecond))
+		}},
+		{"power-of-two-edges", func(r *rand.Rand) int64 {
+			// Values hugging bucket boundaries, where off-by-one bucket
+			// indexing errors would show.
+			v := int64(1) << (3 + r.Intn(30))
+			return v + r.Int63n(3) - 1
+		}},
+	}
+	for _, dist := range distributions {
+		t.Run(dist.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(17))
+			for trial := 0; trial < 25; trial++ {
+				n := 1 + rng.Intn(4000)
+				var h Histogram
+				obs := make([]int64, n)
+				for i := range obs {
+					v := dist.draw(rng)
+					obs[i] = v
+					h.Observe(time.Duration(v))
+				}
+				sort.Slice(obs, func(i, j int) bool { return obs[i] < obs[j] })
+				s := h.Summary()
+				if s.Count != uint64(n) {
+					t.Fatalf("trial %d: Count = %d, want %d", trial, s.Count, n)
+				}
+				if got, want := int64(s.Max), obs[n-1]; got != want {
+					t.Fatalf("trial %d: Max = %d, want exact %d", trial, got, want)
+				}
+				for _, q := range []struct {
+					name string
+					got  time.Duration
+					p    uint64
+				}{{"P50", s.P50, 50}, {"P99", s.P99, 99}} {
+					exact := exactQuantile(obs, q.p)
+					got := int64(q.got)
+					if got < exact {
+						t.Fatalf("trial %d (n=%d): %s = %d underestimates exact quantile %d",
+							trial, n, q.name, got, exact)
+					}
+					// Bucket upper bounds sit strictly below 1.25× the
+					// bucket's lower edge, so the estimate is within 25%
+					// of any value in the bucket (exact for 0–3ns).
+					if limit := exact + exact/4; got > limit {
+						t.Fatalf("trial %d (n=%d): %s = %d exceeds 25%% bound above exact quantile %d (limit %d)",
+							trial, n, q.name, got, exact, limit)
+					}
+				}
+			}
+		})
+	}
+}

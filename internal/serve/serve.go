@@ -324,6 +324,14 @@ func (s *Server) Snapshot() *Snapshot {
 	return s.snap.Load()
 }
 
+// Seq returns the sequence of the currently published snapshot without
+// counting as a served read (it is bookkeeping, not traffic). Because the
+// writer publishes before it acks, the value loaded after a write's ack is
+// at or beyond the sequence that made the write visible.
+func (s *Server) Seq() uint64 {
+	return s.snap.Load().Seq
+}
+
 // Rules returns the current valid rules in deterministic order. The slice
 // is shared with the snapshot; callers must not modify it.
 func (s *Server) Rules() []rules.Rule {

@@ -720,6 +720,19 @@ func (r *Router) Snapshots() []ShardSnapshot {
 	return out
 }
 
+// Seqs returns the current per-shard snapshot sequence vector without
+// pinning snapshots or counting reads: one atomic seq load per shard.
+// Each component loaded after a write's ack is at or beyond the sequence
+// that made the write visible on its shard (writers publish before they
+// ack), so the vector is a read-your-writes watermark for acked writes.
+func (r *Router) Seqs() []uint64 {
+	out := make([]uint64, len(r.shards))
+	for s, sh := range r.shards {
+		out[s] = sh.srv.Seq()
+	}
+	return out
+}
+
 // Seqs returns the per-shard snapshot sequence vector of snaps.
 func Seqs(snaps []ShardSnapshot) []uint64 {
 	out := make([]uint64, len(snaps))

@@ -35,6 +35,11 @@ type Options struct {
 	// AnnotationPrefix classifies tokens: tokens with this prefix are
 	// annotations. Empty means DefaultAnnotationPrefix.
 	AnnotationPrefix string
+	// Classifier overrides prefix classification when non-nil: tokens for
+	// which it returns true are annotations. Corpora whose annotation
+	// vocabulary spans several family prefixes (cpu:high, pos:noun, …)
+	// need this, since no single AnnotationPrefix covers them.
+	Classifier func(token string) bool
 	// AllowEmptyTuples keeps lines that contain annotations but no data
 	// values (or nothing at all after comment stripping). The paper's
 	// dataset always has data values; malformed lines usually indicate a
@@ -49,6 +54,14 @@ func (o Options) prefix() string {
 		return DefaultAnnotationPrefix
 	}
 	return o.AnnotationPrefix
+}
+
+// isAnnotation classifies one token as annotation or data value.
+func (o Options) isAnnotation(tok string) bool {
+	if o.Classifier != nil {
+		return o.Classifier(tok)
+	}
+	return strings.HasPrefix(tok, o.prefix())
 }
 
 func (o Options) maxLine() int {
@@ -104,7 +117,6 @@ func readDataset(r io.Reader, opts Options, path string) (*relation.Relation, er
 // implements by appending a second file to the loaded dataset.
 func AppendDataset(rel *relation.Relation, r io.Reader, opts Options, path string) error {
 	dict := rel.Dictionary()
-	prefix := opts.prefix()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, min(64*1024, opts.maxLine())), opts.maxLine())
 	lineNo := 0
@@ -118,7 +130,7 @@ func AppendDataset(rel *relation.Relation, r io.Reader, opts Options, path strin
 		fields := strings.Fields(line)
 		var data, annots []string
 		for _, tok := range fields {
-			if strings.HasPrefix(tok, prefix) {
+			if opts.isAnnotation(tok) {
 				annots = append(annots, tok)
 			} else {
 				data = append(data, tok)
@@ -168,7 +180,6 @@ func buildTuple(dict *relation.Dictionary, data, annots []string) (relation.Tupl
 func WriteDataset(w io.Writer, rel *relation.Relation, opts Options) error {
 	bw := bufio.NewWriter(w)
 	dict := rel.Dictionary()
-	prefix := opts.prefix()
 	var writeErr error
 	rel.Each(func(i int, t relation.Tuple) bool {
 		first := true
@@ -185,8 +196,8 @@ func WriteDataset(w io.Writer, rel *relation.Relation, opts Options) error {
 		}
 		for _, it := range t.Annots {
 			tok := dict.Token(it)
-			if !strings.HasPrefix(tok, prefix) {
-				writeErr = fmt.Errorf("storage: annotation token %q lacks prefix %q; file would not round-trip", tok, prefix)
+			if !opts.isAnnotation(tok) {
+				writeErr = fmt.Errorf("storage: annotation token %q would be read back as a data value; file would not round-trip", tok)
 				return false
 			}
 			if !first {
@@ -260,7 +271,6 @@ func ReadUpdateBatchFile(path string, opts Options) ([]UpdateLine, error) {
 }
 
 func readUpdateBatch(r io.Reader, opts Options, path string) ([]UpdateLine, error) {
-	prefix := opts.prefix()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, min(64*1024, opts.maxLine())), opts.maxLine())
 	var out []UpdateLine
@@ -287,8 +297,8 @@ func readUpdateBatch(r io.Reader, opts Options, path string) ([]UpdateLine, erro
 		if tok == "" {
 			return nil, &ParseError{Path: path, Line: lineNo, Msg: "missing annotation token"}
 		}
-		if !strings.HasPrefix(tok, prefix) {
-			return nil, &ParseError{Path: path, Line: lineNo, Msg: fmt.Sprintf("annotation %q lacks prefix %q", tok, prefix)}
+		if !opts.isAnnotation(tok) {
+			return nil, &ParseError{Path: path, Line: lineNo, Msg: fmt.Sprintf("token %q does not classify as an annotation", tok)}
 		}
 		// Interior whitespace cannot survive the whitespace-separated
 		// dataset format (Figure 4), so a token carrying it would be

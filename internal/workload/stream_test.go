@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"annotadb/internal/storage"
+)
+
+// update regenerates the golden corpus files instead of comparing against
+// them: go test ./internal/workload -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden corpus files")
+
+const goldenTuples = 64
+
+// streamCorpora are the corpus names every Stream test covers.
+var streamCorpora = []string{"paper", "metrics", "linguistic"}
+
+// TestStreamDeterminism proves byte-for-byte reproducibility: two streams
+// built from the same (corpus, seed) produce identical bases, tuple
+// batches, and annotation batches — the property grid runs rely on.
+func TestStreamDeterminism(t *testing.T) {
+	for _, corpus := range streamCorpora {
+		t.Run(corpus, func(t *testing.T) {
+			a, err := NewStream(corpus, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewStream(corpus, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a.Base(50), b.Base(50)) {
+				t.Fatal("Base differs between identically seeded streams")
+			}
+			if !reflect.DeepEqual(a.Tuples(20), b.Tuples(20)) {
+				t.Fatal("Tuples differs between identically seeded streams")
+			}
+			if !reflect.DeepEqual(a.Annotations(30, 50), b.Annotations(30, 50)) {
+				t.Fatal("Annotations differs between identically seeded streams")
+			}
+			c, err := NewStream(corpus, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reflect.DeepEqual(a.Tuples(20), c.Tuples(20)) {
+				t.Fatal("different seeds produced identical batches")
+			}
+		})
+	}
+}
+
+// TestStreamShapes checks corpus invariants the load harness and the
+// sharded server depend on: annotations classify as annotations, data
+// values do not, and every generated tuple has at least one data value
+// (the text format rejects data-less tuples by default).
+func TestStreamShapes(t *testing.T) {
+	for _, corpus := range streamCorpora {
+		t.Run(corpus, func(t *testing.T) {
+			s, err := NewStream(corpus, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tu := range s.Base(200) {
+				if len(tu.Values) == 0 {
+					t.Fatal("tuple with no data values")
+				}
+				for _, v := range tu.Values {
+					if s.IsAnnotation(v) {
+						t.Fatalf("data value %q classifies as an annotation", v)
+					}
+				}
+				for _, a := range tu.Annotations {
+					if !s.IsAnnotation(a) {
+						t.Fatalf("annotation %q classifies as a data value", a)
+					}
+				}
+			}
+			for _, u := range s.Annotations(100, 200) {
+				if u.Tuple < 0 || u.Tuple >= 200 {
+					t.Fatalf("annotation update index %d out of [0,200)", u.Tuple)
+				}
+				if !s.IsAnnotation(u.Annotation) {
+					t.Fatalf("update annotation %q classifies as a data value", u.Annotation)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenRoundTrip renders each corpus's seed-1 base through the
+// Figure 4 text format and compares it byte-for-byte against the committed
+// golden file, then reads the text back and re-renders it to prove the
+// format round-trips multi-family annotation tokens exactly.
+func TestGoldenRoundTrip(t *testing.T) {
+	for _, corpus := range streamCorpora {
+		t.Run(corpus, func(t *testing.T) {
+			s, err := NewStream(corpus, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel, err := BuildRelation(s.Base(goldenTuples))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := storage.Options{Classifier: s.IsAnnotation}
+			var rendered bytes.Buffer
+			if err := storage.WriteDataset(&rendered, rel, opts); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", "golden_"+corpus+".txt")
+			if *update {
+				if err := os.WriteFile(golden, rendered.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(rendered.Bytes(), want) {
+				t.Fatalf("%s corpus diverged from golden file %s: generation is no longer reproducible (run with -update if the change is intentional)", corpus, golden)
+			}
+			reread, err := storage.ReadDataset(bytes.NewReader(want), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rerendered bytes.Buffer
+			if err := storage.WriteDataset(&rerendered, reread, opts); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rerendered.Bytes(), want) {
+				t.Fatalf("%s corpus does not round-trip through the text format", corpus)
+			}
+		})
+	}
+}

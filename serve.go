@@ -509,7 +509,7 @@ func (s *Server) AddAnnotations(ctx context.Context, batch []AnnotationUpdate) (
 		if err != nil {
 			return UpdateReport{}, err
 		}
-		return publicReport(rep), nil
+		return s.stamped(publicReport(rep)), nil
 	}
 	if err := s.validateIndexes(batch); err != nil {
 		return UpdateReport{}, err
@@ -527,7 +527,7 @@ func (s *Server) AddAnnotations(ctx context.Context, batch []AnnotationUpdate) (
 	if err != nil {
 		return UpdateReport{}, err
 	}
-	return publicReport(rep), nil
+	return s.stamped(publicReport(rep)), nil
 }
 
 func shardUpdates(batch []AnnotationUpdate) []shard.Update {
@@ -558,7 +558,7 @@ func (s *Server) RemoveAnnotations(ctx context.Context, batch []AnnotationUpdate
 		if err != nil {
 			return UpdateReport{}, err
 		}
-		return publicReport(rep), nil
+		return s.stamped(publicReport(rep)), nil
 	}
 	dict := s.ds.rel.Dictionary()
 	updates := make([]relation.AnnotationUpdate, 0, len(batch))
@@ -576,7 +576,7 @@ func (s *Server) RemoveAnnotations(ctx context.Context, batch []AnnotationUpdate
 	if err != nil {
 		return UpdateReport{}, err
 	}
-	return publicReport(rep), nil
+	return s.stamped(publicReport(rep)), nil
 }
 
 // AddTuples submits a tuple batch and waits until it is applied. The batch
@@ -594,7 +594,7 @@ func (s *Server) AddTuples(ctx context.Context, batch []TupleSpec) (UpdateReport
 		if err != nil {
 			return UpdateReport{}, err
 		}
-		return publicReport(rep), nil
+		return s.stamped(publicReport(rep)), nil
 	}
 	dict := s.ds.rel.Dictionary()
 	tuples := make([]relation.Tuple, 0, len(batch))
@@ -609,7 +609,7 @@ func (s *Server) AddTuples(ctx context.Context, batch []TupleSpec) (UpdateReport
 	if err != nil {
 		return UpdateReport{}, err
 	}
-	return publicReport(rep), nil
+	return s.stamped(publicReport(rep)), nil
 }
 
 // ApplyUpdateFile reads a Figure 14-format annotation batch and submits it.
@@ -634,7 +634,7 @@ func (s *Server) ApplyUpdateFile(ctx context.Context, r io.Reader) (UpdateReport
 		if err != nil {
 			return UpdateReport{}, err
 		}
-		return publicReport(rep), nil
+		return s.stamped(publicReport(rep)), nil
 	}
 	updates, err := storage.ResolveUpdates(s.ds.rel, lines)
 	if err != nil {
@@ -644,7 +644,22 @@ func (s *Server) ApplyUpdateFile(ctx context.Context, r io.Reader) (UpdateReport
 	if err != nil {
 		return UpdateReport{}, err
 	}
-	return publicReport(rep), nil
+	return s.stamped(publicReport(rep)), nil
+}
+
+// stamped records the snapshot sequence current after an acknowledged
+// write on its report. The writer publishes before it acks, so the
+// sequence loaded here is at or beyond the one that made the write
+// visible — the report's Seq/SeqVector are valid read-your-writes
+// watermarks (see UpdateReport.Seq).
+func (s *Server) stamped(rep UpdateReport) UpdateReport {
+	if s.router != nil {
+		rep.SeqVector = s.router.Seqs()
+		rep.Seq = seqSum(rep.SeqVector)
+		return rep
+	}
+	rep.Seq = s.core.Seq()
+	return rep
 }
 
 // serveLen returns the live served relation length (merged for sharded).
