@@ -1,0 +1,90 @@
+// Command annotlint is the repository's static-analysis driver: it loads
+// the packages named by its argument patterns (default ./...), runs every
+// registered invariant analyzer over them, prints the surviving findings
+// one per line as file:line:col: [analyzer] message, and exits nonzero when
+// anything is found. CI runs it as a required gate; see cmd/annotlint/README.md
+// for the analyzer catalogue and the suppression contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"annotadb/internal/analysis"
+	"annotadb/internal/analysis/atomicmix"
+	"annotadb/internal/analysis/doclint"
+	"annotadb/internal/analysis/errlatch"
+	"annotadb/internal/analysis/lockio"
+	"annotadb/internal/analysis/snapshotimmut"
+)
+
+// suite returns the full analyzer set in report order.
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		snapshotimmut.Default(),
+		lockio.Default(),
+		errlatch.Default(),
+		atomicmix.Default(),
+		doclint.Default(),
+	}
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: annotlint [-only a,b] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := suite()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		names := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			names[strings.TrimSpace(n)] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range analyzers {
+			if names[a.Name] {
+				kept = append(kept, a)
+				delete(names, a.Name)
+			}
+		}
+		for n := range names {
+			fmt.Fprintf(os.Stderr, "annotlint: unknown analyzer %q\n", n)
+			os.Exit(2)
+		}
+		analyzers = kept
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "annotlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "annotlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "annotlint: %d finding(s) in %d package(s) analyzed\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,129 @@
+// Package analysis is the repository's static-analysis framework: a small,
+// dependency-free mirror of the golang.org/x/tools/go/analysis API (Analyzer,
+// Pass, Diagnostic) plus a package loader and a suppression-aware runner.
+//
+// The toolchain image this repository builds under has no module proxy
+// access, so the x/tools analysis framework cannot be imported; this package
+// reimplements the subset the annotlint suite needs on the standard
+// library's go/ast, go/parser, and go/types. Packages are type-checked from
+// source, with every dependency (standard library and intra-module alike)
+// imported from compiler export data produced by `go list -export`, so a run
+// is as fast as an incremental build and needs no network.
+//
+// The analyzers themselves live in subpackages (snapshotimmut, lockio,
+// errlatch, atomicmix, doclint); cmd/annotlint is the multichecker driver
+// that runs them all and fails on any diagnostic. Findings are suppressed
+// only by an in-source comment of the form
+//
+//	//annotlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the flagged line or the line directly above it. The reason is
+// mandatory — a bare ignore is itself a diagnostic — and a suppression that
+// stops matching anything is reported as unused, so stale exemptions cannot
+// accumulate. See ARCHITECTURE.md's "Static analysis" section for the
+// invariant each analyzer enforces.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant check. Run receives a fully loaded,
+// type-checked package and reports findings through the Pass; it returns an
+// error only for internal failures (a bad configuration, not a finding).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //annotlint:ignore comments. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+	// NeedsTypes reports whether Run requires type information. Analyzers
+	// that operate on syntax alone (doclint) leave it false and may be run
+	// over parse-only packages.
+	NeedsTypes bool
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax (non-test files only).
+	Files []*ast.File
+	// Pkg is the type-checked package, nil for parse-only loads.
+	Pkg *types.Package
+	// Info holds type facts for every expression in Files, nil for
+	// parse-only loads.
+	Info *types.Info
+	// PkgPath is the package's import path (set even when Pkg is nil).
+	PkgPath string
+
+	report func(Diagnostic)
+}
+
+// Report records one finding.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Analyzer == "" {
+		d.Analyzer = p.Analyzer.Name
+	}
+	p.report(d)
+}
+
+// Reportf records one finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position inside the analyzed package and a
+// message describing the violated invariant.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Analyzer names the check that produced it (filled by Pass.Report).
+	Analyzer string
+	// Message describes the violation.
+	Message string
+}
+
+// Finding is a resolved Diagnostic: the same content with the token position
+// rendered to a concrete file/line/column, ready to print or compare.
+type Finding struct {
+	// Position is the resolved source location.
+	Position token.Position
+	// Analyzer names the check that produced the finding.
+	Analyzer string
+	// Message describes the violation.
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col: form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Position.Filename, f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
+}
+
+// TypeOf returns the type of expression e, or nil when unknown or when the
+// pass was loaded without type information.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf returns the object an identifier denotes (its use or definition),
+// or nil when unknown.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	if o := p.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}

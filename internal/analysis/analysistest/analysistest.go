@@ -1,0 +1,260 @@
+// Package analysistest runs an analyzer over golden packages under a
+// testdata/src tree and compares its findings against // want comments, the
+// same contract as golang.org/x/tools/go/analysis/analysistest (which the
+// offline toolchain cannot import).
+//
+// A testdata package lives in testdata/src/<importpath>/ and may import
+// other testdata packages by that path, or anything the module's dependency
+// closure provides (standard library included) — external imports are
+// resolved from `go list -export` data. Expected findings are written as
+//
+//	offending code // want "regexp"
+//
+// where the quoted pattern (double- or back-quoted, several per comment
+// allowed) must match the finding's message on that line. Every finding
+// must be wanted and every want must be found. Because findings are
+// compared after suppression handling, a line carrying a valid
+// //annotlint:ignore marker and no want is the golden form of the
+// suppressed-with-reason case: the test fails if the suppression stops
+// working.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"annotadb/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory (go test always runs with the package directory as cwd).
+func TestData() string {
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run loads each pattern package from testdata/src, applies the analyzer,
+// and reports any divergence from the // want comments as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	ld := &loader{
+		src:     filepath.Join(testdata, "src"),
+		fset:    token.NewFileSet(),
+		checked: map[string]*analysis.Package{},
+	}
+	for _, pat := range patterns {
+		pkg, err := ld.load(pat)
+		if err != nil {
+			t.Fatalf("load %s: %v", pat, err)
+		}
+		findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, pat, err)
+		}
+		check(t, pkg, findings)
+	}
+}
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// check compares findings against the package's want comments.
+func check(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	wants := parseWants(t, pkg)
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != f.Position.Filename || w.line != f.Position.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q: no matching finding", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// wantRe extracts the quoted expectation patterns from a want comment: one
+// or more double-quoted (Go syntax) or back-quoted strings.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants scans every file of pkg for // want comments.
+func parseWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				trimmed := strings.TrimSpace(text)
+				if !strings.HasPrefix(trimmed, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(strings.TrimPrefix(trimmed, "want "), -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// loader type-checks testdata packages, resolving testdata-local imports
+// from source (recursively) and everything else from export data.
+type loader struct {
+	src     string
+	fset    *token.FileSet
+	checked map[string]*analysis.Package
+	ext     *analysis.ExportImporter
+	loading []string
+}
+
+// load returns the type-checked testdata package at import path.
+func (ld *loader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := ld.checked[path]; ok {
+		return pkg, nil
+	}
+	for _, p := range ld.loading {
+		if p == path {
+			return nil, fmt.Errorf("testdata import cycle through %s", path)
+		}
+	}
+	ld.loading = append(ld.loading, path)
+	defer func() { ld.loading = ld.loading[:len(ld.loading)-1] }()
+
+	dir := filepath.Join(ld.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	for _, name := range names {
+		f, perr := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, perr
+		}
+		files = append(files, f)
+	}
+	// Resolve imports: testdata-local ones load recursively so their types
+	// are on hand; the rest resolve through export data on demand.
+	var external []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if _, err := os.Stat(filepath.Join(ld.src, filepath.FromSlash(p))); err == nil {
+				if _, lerr := ld.load(p); lerr != nil {
+					return nil, lerr
+				}
+			} else {
+				external = append(external, p)
+			}
+		}
+	}
+	if err := ld.ensureExternal(external); err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: ld, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", path, err)
+	}
+	pkg := &analysis.Package{
+		PkgPath: path,
+		Dir:     dir,
+		Fset:    ld.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	ld.checked[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer for the type checker: testdata packages
+// come from the checked cache, the rest from export data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := ld.checked[path]; ok {
+		return pkg.Types, nil
+	}
+	return ld.ext.Import(path)
+}
+
+// ensureExternal makes export data available for the given import paths
+// (and their dependencies). The go list run happens in the test's working
+// directory, which go test sets to the package under test — inside the
+// module, so the module's whole dependency closure is reachable.
+func (ld *loader) ensureExternal(paths []string) error {
+	if ld.ext == nil {
+		ld.ext = analysis.NewExportImporter(ld.fset)
+	}
+	var missing []string
+	for _, p := range paths {
+		if !ld.ext.Has(p) {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	return ld.ext.Add(".", missing...)
+}

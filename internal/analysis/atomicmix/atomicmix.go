@@ -1,0 +1,126 @@
+// Package atomicmix implements the annotlint analyzer for mixed atomic and
+// plain access: a field or variable that is touched through sync/atomic in
+// one place must be touched through sync/atomic everywhere, because one
+// plain read racing one atomic write is still a data race (this is exactly
+// the torn-read bug the live serving path shipped with in PR 3).
+//
+// The check is per package: pass one collects every variable whose address
+// is taken as the first argument of a sync/atomic call; pass two flags any
+// other appearance of those variables that is not itself inside a
+// sync/atomic call argument, excluding declarations, keyed composite
+// literal fields (pre-publication construction), and &x unary expressions
+// that feed other atomic calls.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+
+	"annotadb/internal/analysis"
+)
+
+// New builds the analyzer; it needs no configuration.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:       "atomicmix",
+		Doc:        "flags variables accessed both through sync/atomic and plainly",
+		NeedsTypes: true,
+		Run:        run,
+	}
+}
+
+// Default returns the analyzer (alias of New; atomicmix is not
+// configurable).
+func Default() *analysis.Analyzer { return New() }
+
+func run(pass *analysis.Pass) error {
+	atomicVars := map[*types.Var]bool{}
+	// Idents appearing inside a sync/atomic call's arguments; these are the
+	// sanctioned accesses.
+	sanctioned := map[*ast.Ident]bool{}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok {
+						sanctioned[id] = true
+					}
+					return true
+				})
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			if ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok {
+				if v := varOf(pass, ue.X); v != nil {
+					atomicVars[v] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				// Keyed struct construction initializes the field before the
+				// value is shared; skip the key idents.
+				for _, el := range x.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							sanctioned[id] = true
+						}
+					}
+				}
+			case *ast.Ident:
+				if sanctioned[x] {
+					return true
+				}
+				v, ok := pass.Info.Uses[x].(*types.Var)
+				if !ok || !atomicVars[v] {
+					return true
+				}
+				pass.Reportf(x.Pos(), "%s is accessed with sync/atomic elsewhere; this plain access races with the atomic ones", v.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a package-level sync/atomic
+// function (atomic.AddUint64, atomic.LoadPointer, ...). Methods on the
+// typed atomics (atomic.Uint64, atomic.Pointer[T]) are excluded: there the
+// receiver is the atomically-accessed variable, and passing &x to, say,
+// Pointer.Store merely stores a pointer value — it says nothing about how
+// x itself is accessed.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.Callee(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() == nil
+}
+
+// varOf resolves an expression like x or s.f to the variable it names.
+func varOf(pass *analysis.Pass, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := pass.ObjectOf(x).(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := pass.ObjectOf(x.Sel).(*types.Var)
+		return v
+	}
+	return nil
+}

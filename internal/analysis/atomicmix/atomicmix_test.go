@@ -1,0 +1,17 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"annotadb/internal/analysis/analysistest"
+	"annotadb/internal/analysis/atomicmix"
+)
+
+// TestAtomicMix runs the analyzer over the mix golden package: the
+// plain-read-of-an-atomic-counter shape that was PR 3's torn-read bug, the
+// typed-atomic pointer store that must NOT mark its operand (the false
+// positive the serving layer would otherwise trip), keyed composite
+// construction, and one suppressed-with-reason pre-publication reset.
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicmix.New(), "mix")
+}

@@ -1,0 +1,64 @@
+// Package mix exercises the atomicmix analyzer with the torn-read shape
+// the live serving path shipped with in PR 3: a counter written through
+// sync/atomic in one method and read plainly in another.
+package mix
+
+import "sync/atomic"
+
+// Stats is a counter block shared across goroutines.
+type Stats struct {
+	hits   uint64
+	misses uint64
+}
+
+// NewStats constructs the block; keyed composite initialization happens
+// before publication and is sanctioned.
+func NewStats() *Stats {
+	return &Stats{hits: 0, misses: 0}
+}
+
+// Hit records one hit atomically.
+func (s *Stats) Hit() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+// TornRead reads hits without atomic.LoadUint64 — PR 3's bug.
+func (s *Stats) TornRead() uint64 {
+	return s.hits // want `hits is accessed with sync/atomic elsewhere`
+}
+
+// CleanRead is the correct form.
+func (s *Stats) CleanRead() uint64 {
+	return atomic.LoadUint64(&s.hits)
+}
+
+// Miss touches misses only plainly; a consistently plain field is the
+// caller's locking problem, not a mixed-discipline one.
+func (s *Stats) Miss() {
+	s.misses++
+}
+
+// MissCount reads the consistently plain field.
+func (s *Stats) MissCount() uint64 {
+	return s.misses
+}
+
+// lastErr is a typed atomic; storing &err says nothing about how err
+// itself is accessed, so Record's plain uses of err must not be flagged.
+var lastErr atomic.Pointer[error]
+
+// Record stores the error pointer; err stays a plain local.
+func Record(err error) {
+	if err != nil {
+		lastErr.Store(&err)
+	}
+	_ = err
+}
+
+// Reset carries the sanctioned exception: it runs before any reader
+// goroutine starts, so the spawn orders the plain write. The suppression
+// must keep working or this file stops matching its golden expectations.
+func (s *Stats) Reset() {
+	//annotlint:ignore atomicmix Reset runs before any reader goroutine starts; the goroutine spawn orders this write
+	s.hits = 0
+}

@@ -1,0 +1,138 @@
+// Package doclint implements the annotlint analyzer enforcing the
+// repository's documentation contract (see ARCHITECTURE.md): every covered
+// package carries a package comment, and every exported top-level
+// declaration — functions, methods on exported receivers, types, constants,
+// and variables — carries a doc comment. Grouped const/var/type blocks may
+// carry one comment on the block instead of one per spec, and a trailing
+// line comment on a spec also satisfies the contract.
+//
+// doclint began life as the internal/docs test and is now the fifth
+// analyzer under the annotlint driver so documentation gaps surface in the
+// same report, with the same suppression mechanism, as the concurrency and
+// error-discipline findings. It is purely syntactic (NeedsTypes=false) and
+// so also runs on packages that fail to type-check.
+package doclint
+
+import (
+	"go/ast"
+	"strings"
+
+	"annotadb/internal/analysis"
+)
+
+// Config restricts which packages the analyzer lints.
+type Config struct {
+	// Exempt lists import-path prefixes to skip entirely. Covered packages
+	// are everything else.
+	Exempt []string
+}
+
+// Default returns the analyzer covering every package (no exemptions): the
+// repository documents all of its code, commands included.
+func Default() *analysis.Analyzer { return New(Config{}) }
+
+// New builds the analyzer for an explicit configuration (used by tests).
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "doclint",
+		Doc:  "flags exported identifiers and packages lacking doc comments",
+		Run: func(pass *analysis.Pass) error {
+			for _, prefix := range cfg.Exempt {
+				if pass.PkgPath == prefix || strings.HasPrefix(pass.PkgPath, prefix+"/") {
+					return nil
+				}
+			}
+			return run(pass)
+		},
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	hasPackageDoc := false
+	for _, f := range pass.Files {
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+			hasPackageDoc = true
+		}
+		for _, decl := range f.Decls {
+			lintDecl(pass, decl)
+		}
+	}
+	if !hasPackageDoc && len(pass.Files) > 0 {
+		pass.Reportf(pass.Files[0].Name.Pos(), "package %s has no package comment", pass.Files[0].Name.Name)
+	}
+	return nil
+}
+
+func lintDecl(pass *analysis.Pass, decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !receiverExported(d) {
+			return
+		}
+		if d.Doc == nil {
+			pass.Reportf(d.Pos(), "exported %s %s has no doc comment", funcKind(d), funcName(d))
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+					pass.Reportf(sp.Pos(), "exported type %s has no doc comment", sp.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, name := range sp.Names {
+					if name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+						pass.Reportf(name.Pos(), "exported %s %s has no doc comment (on the spec or its block)", d.Tok, name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (true for plain functions): an exported method on an unexported type is
+// not part of the package API unless surfaced elsewhere, which the lint of
+// that surface covers.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr: // generic receiver
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	var b strings.Builder
+	typ := d.Recv.List[0].Type
+	if st, ok := typ.(*ast.StarExpr); ok {
+		typ = st.X
+	}
+	if id, ok := typ.(*ast.Ident); ok {
+		b.WriteString(id.Name)
+		b.WriteString(".")
+	}
+	b.WriteString(d.Name.Name)
+	return b.String()
+}

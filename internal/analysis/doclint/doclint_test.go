@@ -1,0 +1,23 @@
+package doclint_test
+
+import (
+	"testing"
+
+	"annotadb/internal/analysis/analysistest"
+	"annotadb/internal/analysis/doclint"
+)
+
+// TestDocLint runs the analyzer over the undoc golden package: a missing
+// package comment, undocumented exported functions, methods, types, and
+// variables, the documented and unexported negatives, and one
+// suppressed-with-reason shim.
+func TestDocLint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), doclint.Default(), "undoc")
+}
+
+// TestDocLintExempt checks that an exempted import path produces no
+// findings at all, even though the package violates every rule.
+func TestDocLintExempt(t *testing.T) {
+	a := doclint.New(doclint.Config{Exempt: []string{"exempt"}})
+	analysistest.Run(t, analysistest.TestData(), a, "exempt")
+}

@@ -1,0 +1,5 @@
+package exempt
+
+var Exported = 1
+
+func Undocumented() {}

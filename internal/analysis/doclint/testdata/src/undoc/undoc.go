@@ -1,0 +1,40 @@
+package undoc // want `package undoc has no package comment`
+
+import "strings"
+
+// Documented carries a doc comment and is clean.
+var Documented = 1
+
+var Exported = []int{ // want `exported var Exported has no doc comment`
+	1,
+}
+
+type Thing struct { // want `exported type Thing has no doc comment`
+	n int
+}
+
+// Named is documented.
+type Named struct{}
+
+func MissingDoc() {} // want `exported function MissingDoc has no doc comment`
+
+func (t *Thing) MissingMethodDoc() {} // want `exported method Thing.MissingMethodDoc has no doc comment`
+
+// HasDoc is documented.
+func HasDoc() string { return strings.TrimSpace(" ok ") }
+
+type hidden struct{}
+
+// Exported methods on unexported receivers are outside the package API.
+func (h *hidden) Visible() {}
+
+func unexported() {}
+
+// use keeps the unexported declarations referenced.
+func use() {
+	_ = hidden{}
+	_ = Thing{n: 1}
+	unexported()
+}
+
+func Shim() {} //annotlint:ignore doclint generated build-tag shim, documented in the package comment of its source template

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Deref strips pointer indirections from a type.
+func Deref(t types.Type) types.Type {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// NamedOf returns the named type behind t (through pointers and aliases),
+// or nil when t is not a named type.
+func NamedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if n, ok := Deref(types.Unalias(t)).(*types.Named); ok {
+		return n
+	}
+	return nil
+}
+
+// TypeKey renders a named type as "pkgpath.Name", or "" for types outside
+// any package (error, built-ins).
+func TypeKey(n *types.Named) string {
+	if n == nil || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// Callee resolves the static function or method a call invokes, or nil for
+// builtins, conversions, and dynamic calls through function values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	if info == nil {
+		return nil
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// FuncKeys renders the config-matchable keys of a function, most specific
+// first: "pkg.Recv.Name", "pkg.Recv.*", "pkg.Name", and "pkg.*". Methods
+// produce the receiver forms (with pointers stripped); plain functions the
+// package-level forms.
+func FuncKeys(fn *types.Func) []string {
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	pkg := fn.Pkg().Path()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if n := NamedOf(sig.Recv().Type()); n != nil {
+			return []string{
+				pkg + "." + n.Obj().Name() + "." + fn.Name(),
+				pkg + "." + n.Obj().Name() + ".*",
+				pkg + ".*",
+			}
+		}
+		// Method on an unnamed receiver (interface literal): match by
+		// package wildcard only.
+		return []string{pkg + ".*"}
+	}
+	return []string{pkg + "." + fn.Name(), pkg + ".*"}
+}
+
+// MatchFunc reports whether the called function matches any of the
+// configured patterns (exact "pkg.Func" / "pkg.Type.Method" keys or
+// wildcards "pkg.*" / "pkg.Type.*"), returning the human-readable name.
+func MatchFunc(fn *types.Func, patterns map[string]bool) (string, bool) {
+	keys := FuncKeys(fn)
+	for _, k := range keys {
+		if patterns[k] {
+			return keys[0], true
+		}
+	}
+	return "", false
+}
+
+// IsErrorType reports whether t implements the error interface.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType)
+}

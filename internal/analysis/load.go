@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the import path.
+	PkgPath string
+	// Dir is the package's source directory.
+	Dir string
+	// Fset maps positions; shared across one Load call.
+	Fset *token.FileSet
+	// Files is the parsed syntax of the package's non-test Go files.
+	Files []*ast.File
+	// Types is the type-checked package, nil for parse-only loads.
+	Types *types.Package
+	// Info carries type facts for every expression in Files, nil for
+	// parse-only loads.
+	Info *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` for patterns in dir and decodes
+// the JSON stream. The -export flag makes the go tool compile (or pull from
+// the build cache) every package and report the path of its export data,
+// which is what lets the type checker import dependencies without
+// re-checking their sources.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if derr := dec.Decode(&p); errors.Is(derr, io.EOF) {
+			break
+		} else if derr != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", derr)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter is a types.Importer that resolves imports from the
+// compiler export data `go list -export` reports, via the standard gc
+// importer. It starts empty; Add extends it with the dependency closure of
+// more patterns. The analysistest harness shares it so testdata packages
+// can import anything the module's build graph provides without the loader
+// re-type-checking the world from source.
+type ExportImporter struct {
+	gc      types.Importer
+	exports map[string]string
+}
+
+// NewExportImporter returns an empty importer bound to fset.
+func NewExportImporter(fset *token.FileSet) *ExportImporter {
+	ei := &ExportImporter{exports: map[string]string{}}
+	ei.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := ei.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+	return ei
+}
+
+// Add runs go list in dir for the given patterns and merges the resulting
+// export-data locations (targets and dependencies alike) into the importer.
+func (ei *ExportImporter) Add(dir string, patterns ...string) error {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return err
+	}
+	for _, p := range listed {
+		if p.Error != nil {
+			return fmt.Errorf("analysis: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			ei.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// Has reports whether export data for the import path is on hand.
+func (ei *ExportImporter) Has(path string) bool {
+	_, ok := ei.exports[path]
+	return ok
+}
+
+// Import implements types.Importer.
+func (ei *ExportImporter) Import(path string) (*types.Package, error) {
+	return ei.gc.Import(path)
+}
+
+// Load lists patterns in module directory dir (e.g. "./..."), parses each
+// matched package's non-test sources, and type-checks them against export
+// data for every dependency. Packages that contain no buildable Go files
+// (test-only packages such as internal/docs) are skipped. The returned
+// packages share one FileSet and are sorted by import path.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset)
+	var targets []listedPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			imp.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	var out []*Package
+	for _, t := range targets {
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, perr := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if perr != nil {
+				return nil, fmt.Errorf("analysis: parse %s: %w", name, perr)
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp, Sizes: sizes}
+		tpkg, terr := conf.Check(t.ImportPath, fset, files, info)
+		if terr != nil {
+			return nil, fmt.Errorf("analysis: type-check %s: %w", t.ImportPath, terr)
+		}
+		out = append(out, &Package{
+			PkgPath: t.ImportPath,
+			Dir:     t.Dir,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// NewInfo allocates a types.Info with every fact map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+// TestLoadTypechecksAgainstExportData loads this package by import path and
+// checks the essentials the analyzers rely on: parsed syntax with comments,
+// a type-checked package, and populated fact maps.
+func TestLoadTypechecksAgainstExportData(t *testing.T) {
+	pkgs, err := Load(".", "annotadb/internal/analysis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.PkgPath != "annotadb/internal/analysis" {
+		t.Errorf("PkgPath = %q", pkg.PkgPath)
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatal("no parsed files")
+	}
+	if pkg.Files[0].Comments == nil {
+		t.Error("comments were not retained; suppression parsing needs them")
+	}
+	if pkg.Types == nil || pkg.Info == nil {
+		t.Fatal("package is not type-checked")
+	}
+	if pkg.Types.Scope().Lookup("Load") == nil {
+		t.Error("type scope is missing the Load function")
+	}
+	if len(pkg.Info.Defs) == 0 || len(pkg.Info.Uses) == 0 {
+		t.Error("type-fact maps are empty")
+	}
+	if pkg.Fset == (*token.FileSet)(nil) {
+		t.Error("nil FileSet")
+	}
+}
+
+// TestLoadSkipsTestOnlyPackages checks that packages with no non-test Go
+// files (internal/docs) are dropped rather than failing the load.
+func TestLoadSkipsTestOnlyPackages(t *testing.T) {
+	pkgs, err := Load(".", "annotadb/internal/docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 0 {
+		t.Fatalf("loaded %d packages, want 0 (test-only package has no GoFiles)", len(pkgs))
+	}
+}

@@ -1,0 +1,55 @@
+package racepkgs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot is the module root relative to this package's directory.
+var repoRoot = filepath.Join("..", "..", "..")
+
+// ciPath is the CI workflow the race line lives in.
+var ciPath = filepath.Join(repoRoot, ".github", "workflows", "ci.yml")
+
+// TestRaceJobCoversGoroutineSpawners fails when a package that spawns
+// goroutines is absent from the CI race line: concurrency without race
+// coverage is how torn reads ship.
+func TestRaceJobCoversGoroutineSpawners(t *testing.T) {
+	spawning, err := SpawningPackages(repoRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spawning) == 0 {
+		t.Fatal("found no goroutine-spawning packages; the walker is broken")
+	}
+	race, err := RaceList(ciPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[string]bool{}
+	for _, p := range race {
+		covered[p] = true
+	}
+	for _, p := range spawning {
+		if !covered[p] {
+			t.Errorf("%s spawns goroutines but is missing from the CI race line (.github/workflows/ci.yml); add it to `go test -race -shuffle=on ...`", p)
+		}
+	}
+}
+
+// TestRaceListEntriesExist guards the other direction: every pattern on
+// the race line must still be a package directory, so renames cannot leave
+// the race job silently testing nothing.
+func TestRaceListEntriesExist(t *testing.T) {
+	race, err := RaceList(ciPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range race {
+		dir := filepath.Join(repoRoot, filepath.FromSlash(p))
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			t.Errorf("race line entry %s is not a directory in the repo", p)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// IgnorePrefix is the comment marker that suppresses a finding:
+//
+//	//annotlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory; a marker without one is itself reported, as is a marker that
+// no longer suppresses anything.
+const IgnorePrefix = "annotlint:ignore"
+
+// DriverName is the pseudo-analyzer findings about the suppression contract
+// itself are attributed to (malformed or unused ignore comments).
+const DriverName = "annotlint"
+
+// suppression is one parsed //annotlint:ignore comment.
+type suppression struct {
+	pos       token.Pos
+	file      string
+	line      int
+	analyzers []string
+	reason    string
+	used      bool
+}
+
+// parseSuppressions scans a package's comments for ignore markers.
+// Malformed markers (no analyzer list or no reason) are reported
+// immediately via report.
+func parseSuppressions(pkg *Package, report func(Diagnostic)) []*suppression {
+	var out []*suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, IgnorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, IgnorePrefix))
+				names, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if names == "" || reason == "" {
+					report(Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: DriverName,
+						Message:  fmt.Sprintf("malformed suppression: want //%s <analyzer> <reason>", IgnorePrefix),
+					})
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				out = append(out, &suppression{
+					pos:       c.Pos(),
+					file:      p.Filename,
+					line:      p.Line,
+					analyzers: strings.Split(names, ","),
+					reason:    reason,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// covers reports whether s suppresses a diagnostic from analyzer at
+// file:line — same line as the marker, or the line directly below it (the
+// marker-on-its-own-line form).
+func (s *suppression) covers(analyzer, file string, line int) bool {
+	if file != s.file || (line != s.line && line != s.line+1) {
+		return false
+	}
+	for _, a := range s.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. Suppressed diagnostics are dropped;
+// malformed and unused suppressions are appended as DriverName findings.
+// Analyzers that need type information are skipped on parse-only packages.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		collect := func(d Diagnostic) { diags = append(diags, d) }
+		sups := parseSuppressions(pkg, collect)
+		ran := map[string]bool{}
+		for _, a := range analyzers {
+			if a.NeedsTypes && pkg.Info == nil {
+				continue
+			}
+			ran[a.Name] = true
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				PkgPath:  pkg.PkgPath,
+				report:   collect,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+		for _, d := range diags {
+			p := pkg.Fset.Position(d.Pos)
+			suppressed := false
+			for _, s := range sups {
+				if d.Analyzer != DriverName && s.covers(d.Analyzer, p.Filename, p.Line) {
+					s.used = true
+					suppressed = true
+					break
+				}
+			}
+			if !suppressed {
+				findings = append(findings, Finding{Position: p, Analyzer: d.Analyzer, Message: d.Message})
+			}
+		}
+		// A suppression that names an analyzer which ran but matched nothing
+		// is stale: the code it excused has moved or been fixed. Markers for
+		// analyzers outside this run (e.g. a single-analyzer test) are left
+		// alone — only the full driver can judge those.
+		for _, s := range sups {
+			if s.used {
+				continue
+			}
+			relevant := false
+			for _, a := range s.analyzers {
+				if ran[a] {
+					relevant = true
+				}
+			}
+			if relevant {
+				findings = append(findings, Finding{
+					Position: pkg.Fset.Position(s.pos),
+					Analyzer: DriverName,
+					Message:  fmt.Sprintf("unused suppression for %s: nothing on this or the next line triggers it", strings.Join(s.analyzers, ",")),
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

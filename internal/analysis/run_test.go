@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parsePkg parses src as a single-file, parse-only package.
+func parsePkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{PkgPath: "p", Dir: ".", Fset: fset, Files: []*ast.File{f}}
+}
+
+// probe reports one finding at every identifier named "target".
+var probe = &Analyzer{
+	Name: "probe",
+	Doc:  "test probe",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "target" {
+					p.Reportf(id.Pos(), "probe hit")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// run is a helper collapsing Run's output to message strings.
+func runProbe(t *testing.T, src string) []string {
+	t.Helper()
+	findings, err := Run([]*Package{parsePkg(t, src)}, []*Analyzer{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		out[i] = "[" + f.Analyzer + "] " + f.Message
+	}
+	return out
+}
+
+// TestRunReportsUnsuppressedFindings is the baseline: no markers, one
+// finding per probe hit.
+func TestRunReportsUnsuppressedFindings(t *testing.T) {
+	got := runProbe(t, "package p\n\nvar target = 1\n")
+	if len(got) != 1 || got[0] != "[probe] probe hit" {
+		t.Fatalf("got %v, want one probe hit", got)
+	}
+}
+
+// TestSuppressionCoversSameAndNextLine checks both sanctioned marker
+// placements: trailing on the flagged line, and alone on the line above.
+func TestSuppressionCoversSameAndNextLine(t *testing.T) {
+	src := `package p
+
+var target = 1 //annotlint:ignore probe trailing marker with a reason
+
+//annotlint:ignore probe marker above the line, with a reason
+var target2 = target
+`
+	if got := runProbe(t, src); len(got) != 0 {
+		t.Fatalf("got %v, want no findings", got)
+	}
+}
+
+// TestMalformedSuppressionIsReported checks the driver-enforced reason
+// requirement: a marker without a reason (or without an analyzer list) is
+// itself a finding, and it does not suppress anything.
+func TestMalformedSuppressionIsReported(t *testing.T) {
+	src := `package p
+
+//annotlint:ignore probe
+var target = 1
+`
+	got := runProbe(t, src)
+	if len(got) != 2 {
+		t.Fatalf("got %v, want malformed-suppression finding plus the unsuppressed probe hit", got)
+	}
+	if !strings.Contains(got[0], "[annotlint] malformed suppression") {
+		t.Errorf("first finding = %q, want malformed suppression", got[0])
+	}
+	if got[1] != "[probe] probe hit" {
+		t.Errorf("second finding = %q, want the probe hit to survive", got[1])
+	}
+}
+
+// TestUnusedSuppressionIsReported checks that a marker whose analyzer ran
+// but matched nothing is flagged as stale.
+func TestUnusedSuppressionIsReported(t *testing.T) {
+	src := `package p
+
+//annotlint:ignore probe nothing here triggers probe
+var clean = 1
+`
+	got := runProbe(t, src)
+	if len(got) != 1 || !strings.Contains(got[0], "unused suppression for probe") {
+		t.Fatalf("got %v, want one unused-suppression finding", got)
+	}
+}
+
+// TestSuppressionForOtherAnalyzerIsLeftAlone checks that a marker naming
+// an analyzer outside this run is neither honored nor reported stale —
+// only the full driver can judge it.
+func TestSuppressionForOtherAnalyzerIsLeftAlone(t *testing.T) {
+	src := `package p
+
+//annotlint:ignore otherlint handled by a different analyzer
+var clean = 1
+`
+	if got := runProbe(t, src); len(got) != 0 {
+		t.Fatalf("got %v, want no findings", got)
+	}
+}
+
+// TestNeedsTypesSkipsParseOnlyPackages checks that a type-needing analyzer
+// never sees a package without type information.
+func TestNeedsTypesSkipsParseOnlyPackages(t *testing.T) {
+	ranOn := []string{}
+	typed := &Analyzer{
+		Name:       "typed",
+		Doc:        "records the packages it runs on",
+		NeedsTypes: true,
+		Run: func(p *Pass) error {
+			ranOn = append(ranOn, p.PkgPath)
+			return nil
+		},
+	}
+	if _, err := Run([]*Package{parsePkg(t, "package p\n")}, []*Analyzer{typed}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ranOn) != 0 {
+		t.Fatalf("typed analyzer ran on parse-only packages %v", ranOn)
+	}
+}

@@ -1,0 +1,18 @@
+package snapshotimmut_test
+
+import (
+	"testing"
+
+	"annotadb/internal/analysis/analysistest"
+	"annotadb/internal/analysis/snapshotimmut"
+)
+
+// TestSnapshotImmut runs the analyzer over a two-package golden tree: snap
+// owns the View snapshot type (its construction-time mutations must pass),
+// consumer mutates published views every way the analyzer flags, including
+// the through-a-method-result write that made PR 3's torn-read bug
+// possible, plus one sanctioned suppressed-with-reason mutation.
+func TestSnapshotImmut(t *testing.T) {
+	a := snapshotimmut.New(snapshotimmut.Config{Types: []string{"snap.View"}})
+	analysistest.Run(t, analysistest.TestData(), a, "snap", "consumer")
+}

@@ -1,0 +1,40 @@
+// Package consumer exercises writes through a published snapshot from
+// outside the owning package.
+package consumer
+
+import "snap"
+
+// Mutate writes through a published snapshot every way the analyzer flags.
+func Mutate(v *snap.View) {
+	v.Items[0] = "x"         // want `assignment through published snapshot type snap.View`
+	v.Counts["k"] = 1        // want `assignment through published snapshot type snap.View`
+	v.Counts["k"]++          // want `increment through published snapshot type snap.View`
+	delete(v.Counts, "k")    // want `delete on data shared with published snapshot type snap.View`
+	_ = append(v.Items, "y") // want `append on data shared with published snapshot type snap.View`
+	v.Sorted()[0] = "z"      // want `assignment through published snapshot type snap.View`
+}
+
+// Read-only access is fine.
+func Read(v *snap.View) int { return len(v.Items) }
+
+// Rebind replaces a local reference; nothing shared is written.
+func Rebind(v *snap.View) {
+	v = nil
+	_ = v
+}
+
+// CopyOut copies snapshot data into private storage; the snapshot is only
+// the source, never the destination.
+func CopyOut(v *snap.View) []string {
+	out := make([]string, len(v.Items))
+	copy(out, v.Items)
+	return out
+}
+
+// Scrub carries the sanctioned exception: the caller deep-copied the view,
+// so the mutation touches private data. The suppression must keep working
+// or this file stops matching its golden expectations.
+func Scrub(v *snap.View) {
+	//annotlint:ignore snapshotimmut v is a private deep copy made by the caller, never the published view
+	v.Items[0] = ""
+}

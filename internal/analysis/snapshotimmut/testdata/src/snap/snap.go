@@ -1,0 +1,27 @@
+// Package snap owns the published snapshot type View. Mutations inside
+// this package are construction-time and sanctioned; the analyzer must not
+// flag them.
+package snap
+
+// View is a published snapshot: immutable outside this package.
+type View struct {
+	// Counts maps item to frequency.
+	Counts map[string]int
+	// Items lists the distinct items.
+	Items []string
+	seq   uint64
+}
+
+// New builds a View. The owner mutates freely before publishing.
+func New(items []string) *View {
+	v := &View{Counts: map[string]int{}}
+	for _, it := range items {
+		v.Items = append(v.Items, it)
+		v.Counts[it]++
+	}
+	v.seq = 1
+	return v
+}
+
+// Sorted returns the items, backed by the snapshot's own array.
+func (v *View) Sorted() []string { return v.Items }

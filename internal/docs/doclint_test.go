@@ -1,161 +1,39 @@
 // Package docs holds the documentation lint: a test that fails when an
-// exported identifier in a covered package lacks a doc comment, or when a
-// covered package lacks a package comment. It is the enforcement half of
-// the repository's docs contract (see ARCHITECTURE.md); the CI docs job
-// runs it alongside go vet, gofmt, and the Example functions.
+// exported identifier anywhere in the module lacks a doc comment, or when
+// a package lacks a package comment. The rules live in the doclint
+// analyzer (internal/analysis/doclint), which the annotlint driver also
+// runs as a CI gate; this test is the second enforcement point, so the
+// docs contract holds even for workflows that run only `go test ./...`.
+// See ARCHITECTURE.md for the contract itself.
 package docs
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"path/filepath"
-	"strings"
 	"testing"
+
+	"annotadb/internal/analysis"
+	"annotadb/internal/analysis/doclint"
 )
 
-// lintedPackages are the package directories (relative to the repo root)
-// whose exported API must be fully documented. Add a package here when its
-// docs are brought up to the contract; never remove one.
-var lintedPackages = []string{
-	".",
-	"internal/apriori",
-	"internal/fpgrowth",
-	"internal/generalize",
-	"internal/httpapi",
-	"internal/incremental",
-	"internal/itemset",
-	"internal/load",
-	"internal/metrics",
-	"internal/mining",
-	"internal/predict",
-	"internal/relation",
-	"internal/rules",
-	"internal/serve",
-	"internal/shard",
-	"internal/storage",
-	"internal/stream",
-	"internal/wal",
-	"internal/workload",
-}
-
-// TestExportedIdentifiersAreDocumented walks every non-test file of the
-// covered packages and requires a doc comment on each exported top-level
-// declaration. Grouped declarations (const/var blocks, factored type
-// blocks) may carry one comment on the block instead of one per spec.
+// TestExportedIdentifiersAreDocumented loads every package in the module —
+// commands and the analysis suite included — and applies the doclint
+// analyzer, reporting each surviving finding as a test error. Suppressions
+// (//annotlint:ignore doclint <reason>) are honored exactly as the driver
+// honors them.
 func TestExportedIdentifiersAreDocumented(t *testing.T) {
 	root := filepath.Join("..", "..")
-	for _, rel := range lintedPackages {
-		rel := rel
-		t.Run(rel, func(t *testing.T) {
-			fset := token.NewFileSet()
-			pkgs, err := parser.ParseDir(fset, filepath.Join(root, rel), func(fi fs.FileInfo) bool {
-				return !strings.HasSuffix(fi.Name(), "_test.go")
-			}, parser.ParseComments)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(pkgs) == 0 {
-				t.Fatalf("no packages found in %s", rel)
-			}
-			for _, pkg := range pkgs {
-				lintPackage(t, fset, pkg)
-			}
-		})
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
 	}
-}
-
-func lintPackage(t *testing.T, fset *token.FileSet, pkg *ast.Package) {
-	t.Helper()
-	hasPackageDoc := false
-	for _, f := range pkg.Files {
-		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
-			hasPackageDoc = true
-		}
-		for _, decl := range f.Decls {
-			lintDecl(t, fset, decl)
-		}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
 	}
-	if !hasPackageDoc {
-		t.Errorf("package %s has no package comment", pkg.Name)
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{doclint.Default()})
+	if err != nil {
+		t.Fatal(err)
 	}
-}
-
-func lintDecl(t *testing.T, fset *token.FileSet, decl ast.Decl) {
-	t.Helper()
-	switch d := decl.(type) {
-	case *ast.FuncDecl:
-		if !d.Name.IsExported() || !receiverExported(d) {
-			return
-		}
-		if d.Doc == nil {
-			t.Errorf("%s: exported %s %s has no doc comment",
-				fset.Position(d.Pos()), funcKind(d), funcName(d))
-		}
-	case *ast.GenDecl:
-		for _, spec := range d.Specs {
-			switch sp := spec.(type) {
-			case *ast.TypeSpec:
-				if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
-					t.Errorf("%s: exported type %s has no doc comment",
-						fset.Position(sp.Pos()), sp.Name.Name)
-				}
-			case *ast.ValueSpec:
-				for _, name := range sp.Names {
-					if name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
-						t.Errorf("%s: exported %s %s has no doc comment (on the spec or its block)",
-							fset.Position(name.Pos()), d.Tok, name.Name)
-					}
-				}
-			}
-		}
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
 	}
-}
-
-// receiverExported reports whether a method's receiver type is exported
-// (true for plain functions): an exported method on an unexported type is
-// not part of the package API unless surfaced elsewhere, which the lint of
-// that surface covers.
-func receiverExported(d *ast.FuncDecl) bool {
-	if d.Recv == nil || len(d.Recv.List) == 0 {
-		return true
-	}
-	typ := d.Recv.List[0].Type
-	for {
-		switch tt := typ.(type) {
-		case *ast.StarExpr:
-			typ = tt.X
-		case *ast.IndexExpr: // generic receiver
-			typ = tt.X
-		case *ast.Ident:
-			return tt.IsExported()
-		default:
-			return true
-		}
-	}
-}
-
-func funcKind(d *ast.FuncDecl) string {
-	if d.Recv != nil {
-		return "method"
-	}
-	return "function"
-}
-
-func funcName(d *ast.FuncDecl) string {
-	if d.Recv == nil || len(d.Recv.List) == 0 {
-		return d.Name.Name
-	}
-	var b strings.Builder
-	typ := d.Recv.List[0].Type
-	if st, ok := typ.(*ast.StarExpr); ok {
-		typ = st.X
-	}
-	if id, ok := typ.(*ast.Ident); ok {
-		b.WriteString(id.Name)
-		b.WriteString(".")
-	}
-	b.WriteString(d.Name.Name)
-	return b.String()
 }

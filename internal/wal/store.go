@@ -511,6 +511,7 @@ func (s *Store) syncLog() error {
 	s.logMu.Lock()
 	recs := s.unsyncedRecords.Load()
 	bytes := s.unsyncedBytes.Load()
+	//annotlint:ignore lockio the fsync must hold logMu: it orders against TruncateKeep's file-handle swap, and the committer batches so only one fsync is ever in flight
 	err := s.log.Sync()
 	if err == nil {
 		s.unsyncedRecords.Add(-recs)
@@ -720,6 +721,7 @@ func (s *Store) finishTruncate(epoch uint64, covered int64, takenAt time.Time) e
 	s.logMu.Lock()
 	recs := s.unsyncedRecords.Load()
 	bytes := s.unsyncedBytes.Load()
+	//annotlint:ignore lockio the file-handle swap must hold logMu so no committer fsyncs the old handle mid-swap; truncation is rare (one per checkpoint) and appends already queue behind it
 	err := s.log.TruncateKeep(epoch, covered)
 	if err == nil {
 		s.unsyncedRecords.Add(-recs)

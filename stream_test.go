@@ -2,6 +2,7 @@ package annotadb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"reflect"
@@ -339,7 +340,7 @@ func TestStreamDisabledAndSubscribeValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer closeServer(t, dark)
-	if _, err := dark.Subscribe(ctx, SubscribeOptions{}); err != ErrStreamDisabled {
+	if _, err := dark.Subscribe(ctx, SubscribeOptions{}); !errors.Is(err, ErrStreamDisabled) {
 		t.Errorf("disabled Subscribe err = %v, want ErrStreamDisabled", err)
 	}
 	if st := dark.StreamStats(); st.Enabled {
