@@ -68,6 +68,8 @@ func run(args []string) error {
 		seed        = fs.Int64("seed", 1, "workload seed (drives traffic content end to end)")
 
 		tuples      = fs.Int("seed-tuples", 2000, "-local: seed relation size")
+		followers   = fs.Int("followers", 0, "-local: read replicas tailing the primary; reads round-robin across primary and followers (needs a durable unsharded primary — empty -dir uses a temp dir)")
+		readRate    = fs.Float64("read-rate", 0, "-local: per-instance read admission cap in reads/s on primary and each follower (0 = unlimited)")
 		shards      = fs.Int("shards", 0, "-local: annotation-family shards (0/1 = unsharded)")
 		dir         = fs.String("dir", "", "-local: durable data directory (empty = in-memory)")
 		queueDepth  = fs.Int("queue-depth", 0, "-local: write admission queue depth (0 = default)")
@@ -91,6 +93,8 @@ func run(args []string) error {
 		Seed:          *seed,
 		Shards:        *shards,
 		Dir:           *dir,
+		Followers:     *followers,
+		ReadRate:      *readRate,
 		QueueDepth:    *queueDepth,
 		Events:        *localEvents,
 		MinSupport:    *minSupport,
@@ -117,6 +121,8 @@ func run(args []string) error {
 		TupleBatchSize:             *tupleBatch,
 		MaxRetries:                 *retries,
 		MaxBackoffSeconds:          *backoff,
+		Followers:                  *followers,
+		ReadRate:                   *readRate,
 		Seed:                       *seed,
 	}
 	tgt, cleanup, err := makeTarget(*target, localOpts)
@@ -148,7 +154,7 @@ func makeTarget(target string, localOpts load.LocalOptions) (load.Target, func()
 		return load.Target{}, nil, err
 	}
 	cleanup := func() error { return l.Close(context.Background()) }
-	return load.Target{BaseURL: l.URL}, cleanup, nil
+	return load.Target{BaseURL: l.URL, ReadURLs: l.ReadURLs}, cleanup, nil
 }
 
 // runGrid executes an experiments.json grid: every cell against a fresh
@@ -174,6 +180,8 @@ func runGrid(ctx context.Context, path, target string, localOpts load.LocalOptio
 		opts := localOpts
 		opts.Corpus = c.Scenario.Corpus
 		opts.Seed = c.Scenario.Seed
+		opts.Followers = c.Scenario.Followers
+		opts.ReadRate = c.Scenario.ReadRate
 		return makeTarget(target, opts)
 	}
 	progress := func(c load.Cell) {

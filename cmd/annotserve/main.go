@@ -15,6 +15,16 @@
 //	           [-data-dir ./annotdata] [-fsync always]
 //	           [-flush-window 1ms] [-max-group-bytes 1048576]
 //	           [-checkpoint-bytes 4194304] [-checkpoint-age 0]
+//	annotserve -follow http://primary:8080 [-addr :8081]
+//	           [-min-support 0.4] [-min-confidence 0.8]
+//
+// With -follow the process is a read replica: it bootstraps from the
+// primary's /replication/checkpoint, tails its WAL via /replication/log,
+// and serves /rules, /recommend, /events, and /stats from its own local
+// snapshots with bounded staleness. Writes answer 403 (route them to the
+// primary); /recommend?min_seq=S waits until the primary seq S's writes
+// are visible (read-your-writes). The mining flags must match the
+// primary's; -data, -data-dir, and -shards do not apply.
 //
 // With -data-dir the serving state is durable: every update batch is
 // write-ahead logged before it is applied and the full mined state is
@@ -118,6 +128,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		eventRing     = fs.Int("event-ring", 0, "in-memory churn-event ring capacity (0 = 1024)")
 		eventSegBytes = fs.Int64("event-segment-bytes", 0, "rotate the durable event log at this segment size (0 = 1MiB)")
 		eventRetain   = fs.Int("event-retain", 0, "sealed event segments retained for cursor resume (0 = 8, negative retains all)")
+		follow        = fs.String("follow", "", "run as a read replica of this primary base URL (e.g. http://primary:8080); mining flags must match the primary's")
+		followPoll    = fs.Duration("follow-poll", 0, "log tail interval while caught up with the primary (0 = 50ms)")
+		readRate      = fs.Float64("read-rate", 0, "per-instance read admission cap in reads/s on GET /rules and /recommend; excess reads shed with 429 + Retry-After (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -125,10 +138,17 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		return err
 	}
-	if *data == "" && *dataDir == "" {
+	if *follow != "" {
+		if *data != "" || *dataDir != "" {
+			return errors.New("-follow is exclusive with -data/-data-dir: a follower bootstraps from the primary")
+		}
+		if *shards > 1 {
+			return errors.New("-follow serves unsharded; drop -shards")
+		}
+	} else if *data == "" && *dataDir == "" {
 		return errors.New("missing required -data flag (or -data-dir with an existing checkpoint)")
 	}
-	if *data == "" && !annotadb.HasDurableState(*dataDir) {
+	if *follow == "" && *data == "" && !annotadb.HasDurableState(*dataDir) {
 		// Without this guard a mistyped -data-dir would quietly bootstrap
 		// and serve an empty dataset.
 		return fmt.Errorf("data dir %s holds no checkpoint; pass -data to seed it", *dataDir)
@@ -160,7 +180,17 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		srv *annotadb.Server
 		err error
 	)
-	if *dataDir != "" {
+	if *follow != "" {
+		srv, err = annotadb.Follow(opts, sopts, annotadb.FollowOptions{
+			Primary: *follow,
+			Poll:    *followPoll,
+		})
+		if err != nil {
+			return err
+		}
+		rs := srv.Replication()
+		fmt.Fprintf(stdout, "annotserve: following %s (epoch %d, run %s)\n", rs.Primary, rs.Epoch, rs.RunID)
+	} else if *dataDir != "" {
 		var (
 			eng *annotadb.Engine
 			rec annotadb.RecoveryReport
@@ -227,6 +257,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *dataDir != "" {
 		source = *dataDir
 	}
+	if *follow != "" {
+		source = *follow + " (follower)"
+	}
 	st := srv.Stats()
 	if srv.Sharded() {
 		fmt.Fprintf(stdout, "annotserve: serving %s (%d tuples, %d rules, %d family shards) on http://%s\n",
@@ -241,7 +274,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	// event stream before in-flight request draining starts.
 	streamCtx, stopStreams := context.WithCancel(context.Background())
 	defer stopStreams()
-	hs := &http.Server{Handler: newHandler(srv, streamCtx)}
+	hs := &http.Server{Handler: httpapi.NewWithOptions(srv, streamCtx, httpapi.Options{ReadRate: *readRate})}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 

@@ -1,0 +1,466 @@
+// Follower (read replica) tests: bootstrap, live-write equivalence,
+// primary-restart re-bootstrap, follower kill/restart, event-stream gaps,
+// write rejection, and the min_seq read barrier over HTTP. The suite lives
+// in an external test package because it mounts the real transport
+// (internal/httpapi imports this module's root).
+package annotadb_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"annotadb"
+	"annotadb/internal/httpapi"
+)
+
+const followCorpus = `28 85 99 Annot_1 Annot_5
+28 85 12 Annot_1 Annot_5
+28 85 40 Annot_1 Annot_5
+28 85 41 Annot_1
+28 85 Annot_1
+28 41
+41 85 Annot_5
+62 12
+62 40
+99 12
+`
+
+var followMining = annotadb.Options{MinSupport: 0.3, MinConfidence: 0.7}
+
+// swapHandler serves a replaceable handler behind one stable URL, so a
+// "primary restart" keeps the address the follower dials. A nil handler
+// plays the down window: connections succeed but requests fail.
+type swapHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	if h == nil {
+		http.Error(w, "primary down", http.StatusBadGateway)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+func (s *swapHandler) swap(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+// openPrimary opens (or reopens) a durable primary over dir. The first open
+// seeds the store from the fixture corpus; later opens recover.
+func openPrimary(t *testing.T, dir string) *annotadb.Server {
+	t.Helper()
+	ds, err := annotadb.ReadDataset(strings.NewReader(followCorpus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, _, err := annotadb.OpenDurableDataset(ds, followMining, annotadb.DurabilityOptions{Dir: dir, Fsync: "never"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := annotadb.NewServer(eng, annotadb.ServeOptions{BatchWindow: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func closeServer(t *testing.T, s *annotadb.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+// startPrimary mounts a fresh primary behind a swappable httptest server.
+func startPrimary(t *testing.T) (*annotadb.Server, *swapHandler, *httptest.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	primary := openPrimary(t, dir)
+	sh := &swapHandler{}
+	sh.swap(httpapi.New(primary, context.Background()))
+	ts := httptest.NewServer(sh)
+	t.Cleanup(ts.Close)
+	return primary, sh, ts, dir
+}
+
+func startFollower(t *testing.T, primaryURL string, sopts annotadb.ServeOptions) *annotadb.Server {
+	t.Helper()
+	fol, err := annotadb.Follow(followMining, sopts, annotadb.FollowOptions{
+		Primary:    primaryURL,
+		Poll:       2 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { closeServer(t, fol) })
+	return fol
+}
+
+// ruleKeys renders a rule set as sorted comparable strings: the exact-count
+// identity of every rule, independent of slice order.
+func ruleKeys(rules []annotadb.Rule) []string {
+	keys := make([]string, len(rules))
+	for i, r := range rules {
+		keys[i] = fmt.Sprintf("%s=>%s kind=%v pc=%d lhs=%d n=%d",
+			strings.Join(r.LHS, ","), r.RHS, r.Kind, r.PatternCount, r.LHSCount, r.N)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func waitFollowerSeq(t *testing.T, fol *annotadb.Server, seq uint64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := fol.WaitSeq(ctx, seq); err != nil {
+		t.Fatalf("follower never reached seq %d: %v (replication %+v)", seq, err, fol.Replication())
+	}
+}
+
+// TestFollowerMatchesPrimaryUnderLiveWrites is the acceptance property: a
+// follower tailing a primary under concurrent writes converges to the
+// primary's exact rendered rule set once the last acknowledged sequence is
+// behind its watermark.
+func TestFollowerMatchesPrimaryUnderLiveWrites(t *testing.T) {
+	primary, _, ts, _ := startPrimary(t)
+	defer closeServer(t, primary)
+	fol := startFollower(t, ts.URL, annotadb.ServeOptions{BatchWindow: -1})
+
+	ctx := context.Background()
+	const writers, iters = 3, 15
+	var wg sync.WaitGroup
+	seqs := make([]uint64, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			note := func(rep annotadb.UpdateReport, err error) bool {
+				if err != nil {
+					t.Errorf("writer %d: %v", g, err)
+					return false
+				}
+				if rep.Seq > seqs[g] {
+					seqs[g] = rep.Seq
+				}
+				return true
+			}
+			for i := 0; i < iters; i++ {
+				tok := fmt.Sprintf("Annot_w%d_%d", g, i)
+				idx := (g*7 + i) % 10
+				if !note(primary.AddAnnotations(ctx, []annotadb.AnnotationUpdate{{Tuple: idx, Annotation: tok}})) {
+					return
+				}
+				if !note(primary.AddTuples(ctx, []annotadb.TupleSpec{{Values: []string{"28", "85"}, Annotations: []string{tok}}})) {
+					return
+				}
+				// Remove the annotation this iteration just attached: it is
+				// guaranteed present, no other writer touches the token.
+				if !note(primary.RemoveAnnotations(ctx, []annotadb.AnnotationUpdate{{Tuple: idx, Annotation: tok}})) {
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var maxSeq uint64
+	for _, s := range seqs {
+		if s > maxSeq {
+			maxSeq = s
+		}
+	}
+	if maxSeq == 0 {
+		t.Fatal("no write was acknowledged")
+	}
+	waitFollowerSeq(t, fol, maxSeq)
+
+	got, want := ruleKeys(fol.Rules()), ruleKeys(primary.Rules())
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("follower rules diverge from primary:\nfollower %v\nprimary  %v", got, want)
+	}
+
+	// Reads advertise the replication watermark as their sequence.
+	if _, rs, err := fol.RecommendAt(0); err != nil || rs.Seq < maxSeq {
+		t.Errorf("follower RecommendAt seq = %d (%v), want >= %d", rs.Seq, err, maxSeq)
+	}
+	rep := fol.Replication()
+	if rep == nil || rep.Bootstraps != 1 || rep.Applied == 0 {
+		t.Errorf("replication stats = %+v, want one bootstrap with applied records", rep)
+	}
+}
+
+// TestFollowerRebootstrapsAcrossPrimaryRestart kills the primary under the
+// follower, reopens it from the same directory (Close checkpoints pending
+// records, so the log generation advances and the run id changes), and
+// checks the follower detects the conflict, re-bootstraps, resets its
+// watermark to the new run, and converges on the new rule set.
+func TestFollowerRebootstrapsAcrossPrimaryRestart(t *testing.T) {
+	primary, sh, ts, dir := startPrimary(t)
+	fol := startFollower(t, ts.URL, annotadb.ServeOptions{BatchWindow: -1})
+
+	ctx := context.Background()
+	var maxSeq uint64
+	for i := 0; i < 5; i++ {
+		rep, err := primary.AddAnnotations(ctx, []annotadb.AnnotationUpdate{{Tuple: i, Annotation: "Annot_r1"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxSeq = rep.Seq
+	}
+	waitFollowerSeq(t, fol, maxSeq)
+	st0 := fol.Replication()
+	if st0.Bootstraps != 1 || st0.RunID == "" {
+		t.Fatalf("pre-restart replication stats = %+v", st0)
+	}
+
+	// Restart the primary behind the same URL.
+	sh.swap(nil)
+	closeServer(t, primary)
+	primary2 := openPrimary(t, dir)
+	defer closeServer(t, primary2)
+	sh.swap(httpapi.New(primary2, context.Background()))
+
+	var max2 uint64
+	for i := 0; i < 5; i++ {
+		rep, err := primary2.AddAnnotations(ctx, []annotadb.AnnotationUpdate{{Tuple: i + 5, Annotation: "Annot_r2"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		max2 = rep.Seq
+	}
+
+	// WaitSeq alone could pass vacuously against the pre-restart watermark
+	// (the old run's sequences ran higher); wait for the new identity first.
+	deadline := time.Now().Add(20 * time.Second)
+	var st *annotadb.ReplicationStats
+	for {
+		st = fol.Replication()
+		if st.RunID != st0.RunID && st.Bootstraps >= 2 && st.Seq >= max2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never adopted the restarted primary: %+v (was %+v)", st, st0)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Epoch <= st0.Epoch {
+		t.Errorf("epoch after restart = %d, want > %d (Close checkpoints pending records)", st.Epoch, st0.Epoch)
+	}
+	if st.Conflicts == 0 {
+		t.Error("re-bootstrap was not driven by a generation conflict")
+	}
+	got, want := ruleKeys(fol.Rules()), ruleKeys(primary2.Rules())
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("follower rules diverge after restart:\nfollower %v\nprimary  %v", got, want)
+	}
+}
+
+// TestFollowerKilledMidTailRestartsClean kills a follower while the primary
+// is still writing; a replacement follower (followers are stateless) must
+// converge on the final rule set.
+func TestFollowerKilledMidTailRestartsClean(t *testing.T) {
+	primary, _, ts, _ := startPrimary(t)
+	defer closeServer(t, primary)
+	fol1, err := annotadb.Follow(followMining, annotadb.ServeOptions{BatchWindow: -1}, annotadb.FollowOptions{
+		Primary: ts.URL,
+		Poll:    2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	var maxSeq uint64
+	write := func(i int) {
+		rep, err := primary.AddAnnotations(ctx, []annotadb.AnnotationUpdate{{Tuple: i % 10, Annotation: fmt.Sprintf("Annot_k%d", i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxSeq = rep.Seq
+	}
+	for i := 0; i < 10; i++ {
+		write(i)
+	}
+	// Kill the first follower mid-tail, with writes still landing.
+	closeServer(t, fol1)
+	for i := 10; i < 20; i++ {
+		write(i)
+	}
+
+	fol2 := startFollower(t, ts.URL, annotadb.ServeOptions{BatchWindow: -1})
+	waitFollowerSeq(t, fol2, maxSeq)
+	got, want := ruleKeys(fol2.Rules()), ruleKeys(primary.Rules())
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("replacement follower diverges:\nfollower %v\nprimary  %v", got, want)
+	}
+}
+
+// TestFollowerEventGapAfterRingTrim subscribes from a cursor the follower's
+// tiny event ring has already trimmed: the stream must deliver exactly one
+// gap event and then resume from retained history.
+func TestFollowerEventGapAfterRingTrim(t *testing.T) {
+	primary, _, ts, _ := startPrimary(t)
+	defer closeServer(t, primary)
+	fol := startFollower(t, ts.URL, annotadb.ServeOptions{
+		BatchWindow: -1,
+		Stream:      annotadb.StreamOptions{Ring: 4},
+	})
+
+	ctx := context.Background()
+	var maxSeq uint64
+	// Single-update batches against Annot_1/Annot_5 counts: every applied
+	// record publishes a snapshot whose diff emits churn events.
+	for i := 0; i < 12; i++ {
+		tok := "Annot_1"
+		if i%2 == 1 {
+			tok = "Annot_5"
+		}
+		rep, err := primary.AddAnnotations(ctx, []annotadb.AnnotationUpdate{{Tuple: 5 + i%5, Annotation: tok}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxSeq = rep.Seq
+	}
+	waitFollowerSeq(t, fol, maxSeq)
+
+	// Wait until the ring has provably trimmed cursor 1.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if ss := fol.StreamStats(); ss.FirstCursor > 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower ring never trimmed: %+v", fol.StreamStats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	subCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	events, err := fol.Subscribe(subCtx, annotadb.SubscribeOptions{FromSeq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok := <-events
+	if !ok {
+		t.Fatal("subscription closed before any event")
+	}
+	if first.Kind != annotadb.EventGap || first.From != 1 {
+		t.Fatalf("first event = %+v, want a gap from cursor 1", first)
+	}
+	second, ok := <-events
+	if !ok {
+		t.Fatal("subscription closed after the gap")
+	}
+	if second.Kind == annotadb.EventGap {
+		t.Fatalf("second event is another gap: %+v", second)
+	}
+	if ss := fol.StreamStats(); ss.FirstCursor == 0 || second.Cursor < ss.FirstCursor {
+		t.Errorf("resume cursor %d predates retained history %d", second.Cursor, ss.FirstCursor)
+	}
+}
+
+// TestFollowerRejectsWritesAndServesSeqBarrier covers the serving-edge
+// contract over the real transport: writes answer 403 read_only, /stats
+// carries the replication section, and /recommend's min_seq barrier waits
+// for (or times out on) the replication watermark.
+func TestFollowerRejectsWritesAndServesSeqBarrier(t *testing.T) {
+	primary, _, ts, _ := startPrimary(t)
+	defer closeServer(t, primary)
+	fol := startFollower(t, ts.URL, annotadb.ServeOptions{BatchWindow: -1})
+
+	ctx := context.Background()
+	if _, err := fol.AddAnnotations(ctx, []annotadb.AnnotationUpdate{{Tuple: 0, Annotation: "Annot_x"}}); !errors.Is(err, annotadb.ErrFollower) {
+		t.Fatalf("follower AddAnnotations = %v, want ErrFollower", err)
+	}
+
+	fts := httptest.NewServer(httpapi.New(fol, context.Background()))
+	defer fts.Close()
+
+	resp, err := http.Post(fts.URL+"/annotations", "application/json",
+		strings.NewReader(`{"updates":[{"tuple":1,"annotation":"Annot_x"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envelope struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&envelope); derr != nil {
+		t.Fatal(derr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden || envelope.Error.Code != "read_only" {
+		t.Fatalf("follower write = %d %q, want 403 read_only", resp.StatusCode, envelope.Error.Code)
+	}
+
+	// /stats on a follower reports the replication section.
+	resp, err = http.Get(fts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if derr := json.NewDecoder(resp.Body).Decode(&stats); derr != nil {
+		t.Fatal(derr)
+	}
+	resp.Body.Close()
+	repl, ok := stats["replication"].(map[string]any)
+	if !ok || repl["role"] != "follower" || repl["primary"] != ts.URL {
+		t.Fatalf("follower /stats replication section = %#v", stats["replication"])
+	}
+	if _, has := stats["durability"]; has {
+		t.Error("follower /stats reports a durability section it has no store for")
+	}
+
+	// Read-your-writes: write on the primary, then read on the follower
+	// behind a min_seq barrier at the acknowledged sequence.
+	rep, err := primary.AddAnnotations(ctx, []annotadb.AnnotationUpdate{{Tuple: 5, Annotation: "Annot_1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(fmt.Sprintf("%s/recommend?tuple=0&min_seq=%d&wait_ms=10000", fts.URL, rep.Seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Seq uint64 `json:"seq"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&rec); derr != nil {
+		t.Fatal(derr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rec.Seq < rep.Seq {
+		t.Fatalf("barrier read = %d seq %d, want 200 with seq >= %d", resp.StatusCode, rec.Seq, rep.Seq)
+	}
+
+	// An unreachable barrier times out with 503, not a hang.
+	resp, err = http.Get(fts.URL + "/recommend?tuple=0&min_seq=18446744073709551615&wait_ms=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unreachable barrier = %d, want 503", resp.StatusCode)
+	}
+}

@@ -10,16 +10,34 @@
 //	GET  /rules        current rules (?kind=, ?limit=)
 //	GET  /recommend    ?tuple=N — recommendations for one tuple, with the
 //	                   snapshot seq (and seq_vector when sharded) answered
-//	                   from
+//	                   from; ?min_seq=S (+?wait_ms=T) is a read-your-writes
+//	                   barrier — the read waits until the advertised seq
+//	                   reaches S (meaningful on followers; a primary's acked
+//	                   writes are always visible)
 //	POST /annotations  apply an annotation batch (JSON or Figure 14 text);
 //	                   the response reports the snapshot seq at ack time
 //	POST /tuples       append tuples; same seq reporting
-//	GET  /stats        serving, dataset, stream, and durability statistics
+//	GET  /stats        serving, dataset, stream, durability, and (on a
+//	                   follower) replication statistics
 //	GET  /events       rule-churn Server-Sent Events with cursor resume
 //	GET  /healthz      200 ok / 503 degraded once a write-path failure latched
 //
+// A durable unsharded primary additionally feeds read replicas (see
+// internal/replica and annotadb.Follow):
+//
+//	GET /replication/checkpoint  stream the latest checkpoint file
+//	                             (X-Annotadb-Epoch, X-Annotadb-Run-Id)
+//	GET /replication/log         ?epoch=E&from=N&max_bytes=M — page WAL
+//	                             frames; 409 when the position's generation
+//	                             is gone (re-bootstrap)
+//
 // Errors are structured JSON: {"error":{"code":"...","message":"..."}} with
 // the stable codes in the Code* constants.
+//
+// NewWithOptions can additionally cap admitted reads per second on this
+// instance (Options.ReadRate): excess /rules and /recommend requests shed
+// with 429 + Retry-After, the read-side counterpart of the write admission
+// queue, so each replica in a read fleet protects its own latency floor.
 package httpapi
 
 import (
@@ -27,12 +45,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"annotadb"
+	"annotadb/internal/replica"
 )
 
 // Error codes of the structured error schema. Every non-2xx response has
@@ -53,7 +75,29 @@ const (
 	CodeUnavailable = "unavailable"
 	// CodeOverloaded is a 429: admission queue full; retry after backing off.
 	CodeOverloaded = "overloaded"
+	// CodeReadOnly is a 403: this server is a read replica; route the write
+	// to the primary.
+	CodeReadOnly = "read_only"
+	// CodeConflict is a 409: a replication tail position's generation is
+	// gone; the follower must re-bootstrap from the checkpoint.
+	CodeConflict = "conflict"
 )
+
+// Options configure optional transport behavior; the zero value matches
+// New's defaults.
+type Options struct {
+	// ReadRate caps admitted GET /rules and GET /recommend requests per
+	// second on this instance (token bucket; 0 = unlimited). Excess reads
+	// shed with 429 + Retry-After — the read-side counterpart of the write
+	// admission queue. Each replica in a read fleet enforces its own cap,
+	// so a replica protects its latency floor by shedding while the
+	// fleet's aggregate read capacity grows with the replica count.
+	ReadRate float64
+	// Health overrides the /healthz probe (nil: srv.Health). The latch
+	// paths it reports — diverged replicas, a failed WAL fsync — are
+	// one-way states a handler test cannot cheaply enter for real.
+	Health func() error
+}
 
 // api exposes one Server over HTTP.
 type api struct {
@@ -64,20 +108,30 @@ type api struct {
 	// health backs /healthz; New wires srv.Health, tests substitute
 	// latched outcomes.
 	health func() error
+	// reads, when non-nil, is the read admission gate on /rules and
+	// /recommend.
+	reads *rateGate
 }
 
 // New returns the HTTP handler serving srv. Canceling streamCtx ends every
 // open /events stream, which graceful shutdown needs before its in-flight
 // request drain can finish.
 func New(srv *annotadb.Server, streamCtx context.Context) http.Handler {
-	return NewWithHealth(srv, streamCtx, srv.Health)
+	return NewWithOptions(srv, streamCtx, Options{})
 }
 
-// NewWithHealth is New with an injectable health probe (the latch paths it
-// reports — diverged replicas, a failed WAL fsync — are one-way states a
-// handler test cannot cheaply enter for real).
+// NewWithHealth is New with an injectable health probe.
 func NewWithHealth(srv *annotadb.Server, streamCtx context.Context, health func() error) http.Handler {
-	a := &api{srv: srv, streamCtx: streamCtx, health: health}
+	return NewWithOptions(srv, streamCtx, Options{Health: health})
+}
+
+// NewWithOptions is New with transport options.
+func NewWithOptions(srv *annotadb.Server, streamCtx context.Context, opts Options) http.Handler {
+	health := opts.Health
+	if health == nil {
+		health = srv.Health
+	}
+	a := &api{srv: srv, streamCtx: streamCtx, health: health, reads: newRateGate(opts.ReadRate)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /rules", a.rules)
 	mux.HandleFunc("GET /recommend", a.recommend)
@@ -86,6 +140,8 @@ func NewWithHealth(srv *annotadb.Server, streamCtx context.Context, health func(
 	mux.HandleFunc("GET /stats", a.stats)
 	mux.HandleFunc("GET /events", a.events)
 	mux.HandleFunc("GET /healthz", a.healthz)
+	mux.HandleFunc("GET /replication/checkpoint", a.replicationCheckpoint)
+	mux.HandleFunc("GET /replication/log", a.replicationLog)
 	return mux
 }
 
@@ -175,27 +231,108 @@ func writeError(w http.ResponseWriter, status int, code string, err error) {
 }
 
 // WriteUpdateError maps write-path failures to statuses: shutdown and
-// cancellation are availability problems (503, safe to retry elsewhere),
-// an overloaded admission queue is backpressure (429 with a Retry-After
-// hint — the write was shed, not applied), a journal failure is a
-// server-side fault (500, the request was valid and may be retried), and
-// everything else is a request defect (400).
+// cancellation are availability problems (503, safe to retry elsewhere), a
+// write to a read replica is a routing defect (403, go to the primary), an
+// overloaded admission queue is backpressure (429 with a Retry-After hint —
+// the write was shed, not applied), a journal failure is a server-side
+// fault (500, the request was valid and may be retried), and everything
+// else is a request defect (400). The Retry-After hint defaults to one
+// second; WriteUpdateErrorRetry takes the server's derived hint.
 func WriteUpdateError(w http.ResponseWriter, err error) {
+	WriteUpdateErrorRetry(w, err, time.Second)
+}
+
+// WriteUpdateErrorRetry is WriteUpdateError with an explicit backoff hint
+// for shed writes, normally the server's RetryAfter — about two admission
+// waits, so clients back off proportionally to the configured batch and
+// group-commit windows instead of synchronizing on a fixed constant.
+func WriteUpdateErrorRetry(w http.ResponseWriter, err error, retry time.Duration) {
 	switch {
 	case errors.Is(err, annotadb.ErrServerClosed),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err)
+	case errors.Is(err, annotadb.ErrFollower):
+		writeError(w, http.StatusForbidden, CodeReadOnly, err)
 	case errors.Is(err, annotadb.ErrOverloaded):
-		// The queue stayed full for a whole batch window; one second is
-		// enough for the writer to drain hundreds of windows' worth.
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", formatRetryAfter(retry))
 		writeError(w, http.StatusTooManyRequests, CodeOverloaded, err)
 	case errors.Is(err, annotadb.ErrJournal):
 		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 	default:
 		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err)
 	}
+}
+
+// formatRetryAfter renders a backoff hint in decimal seconds. RFC 9110
+// Retry-After is integral, but rounding a 1ms batch window up to "1" would
+// defeat the proportional backoff the hint exists for; our clients
+// (annotload, followers) parse the fractional form, and integral-only
+// parsers still read the leading digit as a sane whole-second hint.
+func formatRetryAfter(d time.Duration) string {
+	if d <= 0 {
+		d = time.Second
+	}
+	return strconv.FormatFloat(d.Seconds(), 'f', 3, 64)
+}
+
+// writeUpdateError maps a write failure using this server's derived
+// Retry-After hint.
+func (a *api) writeUpdateError(w http.ResponseWriter, err error) {
+	WriteUpdateErrorRetry(w, err, a.srv.RetryAfter())
+}
+
+// rateGate is the read admission token bucket: refilled at rate tokens per
+// second up to a small burst (50 ms worth), so admitted throughput tracks
+// the configured cap on any window longer than the burst.
+type rateGate struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newRateGate(rate float64) *rateGate {
+	if rate <= 0 {
+		return nil
+	}
+	burst := rate / 20
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateGate{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// allow admits one read or returns the wait until a token is available.
+func (g *rateGate) allow(now time.Time) (bool, time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if elapsed := now.Sub(g.last).Seconds(); elapsed > 0 {
+		g.tokens = math.Min(g.burst, g.tokens+elapsed*g.rate)
+		g.last = now
+	}
+	if g.tokens >= 1 {
+		g.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - g.tokens) / g.rate * float64(time.Second))
+}
+
+// admitRead applies the read gate; a shed read answers 429 with the time
+// until the next token as its Retry-After, mirroring the write path's
+// proportional backoff hint.
+func (a *api) admitRead(w http.ResponseWriter) bool {
+	if a.reads == nil {
+		return true
+	}
+	ok, retry := a.reads.allow(time.Now())
+	if !ok {
+		w.Header().Set("Retry-After", formatRetryAfter(retry))
+		writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+			errors.New("read capacity exhausted on this instance; retry or use another replica"))
+	}
+	return ok
 }
 
 // maxBodyBytes bounds update request bodies so an oversized payload cannot
@@ -215,6 +352,9 @@ func writeBodyError(w http.ResponseWriter, err error) {
 }
 
 func (a *api) rules(w http.ResponseWriter, r *http.Request) {
+	if !a.admitRead(w) {
+		return
+	}
 	rules := a.srv.Rules()
 	if kind := r.URL.Query().Get("kind"); kind != "" {
 		if kind != string(annotadb.DataToAnnotation) && kind != string(annotadb.AnnotationToAnnotation) {
@@ -247,6 +387,9 @@ func (a *api) rules(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *api) recommend(w http.ResponseWriter, r *http.Request) {
+	if !a.admitRead(w) {
+		return
+	}
 	tupleStr := r.URL.Query().Get("tuple")
 	if tupleStr == "" {
 		writeError(w, http.StatusBadRequest, CodeInvalidArgument, errors.New("missing tuple query parameter (zero-based tuple position)"))
@@ -261,6 +404,36 @@ func (a *api) recommend(w http.ResponseWriter, r *http.Request) {
 		// Malformed input, not a miss: no negative index can ever exist.
 		writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("tuple index must be non-negative, got %d", idx))
 		return
+	}
+	if v := r.URL.Query().Get("min_seq"); v != "" {
+		// Read-your-writes barrier: wait until the advertised sequence
+		// reaches the seq the client's write was acknowledged at. On a
+		// primary the barrier is already satisfied (publish-before-ack); on
+		// a follower it waits for the replication watermark. Bounded by
+		// wait_ms (default 1s) so a stalled follower answers 503 instead of
+		// hanging until client disconnect.
+		minSeq, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("bad min_seq %q", v))
+			return
+		}
+		wait := time.Second
+		if wms := r.URL.Query().Get("wait_ms"); wms != "" {
+			ms, err := strconv.Atoi(wms)
+			if err != nil || ms < 0 {
+				writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("bad wait_ms %q", wms))
+				return
+			}
+			wait = time.Duration(ms) * time.Millisecond
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		err = a.srv.WaitSeq(ctx, minSeq)
+		cancel()
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+				fmt.Errorf("seq barrier %d not reached within %v: %w", minSeq, wait, err))
+			return
+		}
 	}
 	recs, seq, err := a.srv.RecommendAt(idx)
 	if err != nil {
@@ -320,7 +493,7 @@ func (a *api) annotations(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
-		WriteUpdateError(w, err)
+		a.writeUpdateError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toReportJSON(rep))
@@ -346,7 +519,7 @@ func (a *api) tuples(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := a.srv.AddTuples(r.Context(), batch)
 	if err != nil {
-		WriteUpdateError(w, err)
+		a.writeUpdateError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toReportJSON(rep))
@@ -482,7 +655,98 @@ func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 		}
 		body["durability"] = durability
 	}
+	if rs := st.Replication; rs != nil {
+		// Follower: snapshot_seq above is the LOCAL apply generation (it
+		// restarts at every re-bootstrap) and staleness measures the local
+		// apply loop; replication.seq is the primary-sequence watermark
+		// clients should reason about. No durability section appears here —
+		// a follower keeps nothing on disk.
+		body["replication"] = map[string]any{
+			"role":            "follower",
+			"primary":         rs.Primary,
+			"run_id":          rs.RunID,
+			"epoch":           rs.Epoch,
+			"seq":             rs.Seq,
+			"applied_records": rs.Applied,
+			"bootstraps":      rs.Bootstraps,
+			"conflicts":       rs.Conflicts,
+			"tail_errors":     rs.TailErrors,
+		}
+	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// replicationCheckpoint streams the primary's latest checkpoint file to a
+// bootstrapping follower, with its generation and this process run's id in
+// the headers. The head metadata and the streamed bytes come from one open
+// descriptor, so a checkpoint installing mid-request cannot desync them.
+func (a *api) replicationCheckpoint(w http.ResponseWriter, r *http.Request) {
+	src, err := a.srv.ReplicationSource()
+	if err != nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
+		return
+	}
+	f, meta, err := src.OpenCheckpoint()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err)
+		return
+	}
+	defer f.Close()
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(replica.HeaderEpoch, strconv.FormatUint(meta.Epoch, 10))
+	h.Set(replica.HeaderRunID, src.RunID())
+	w.WriteHeader(http.StatusOK)
+	io.Copy(w, f) //nolint:errcheck // client disconnects surface as copy errors
+}
+
+// replicationLog pages WAL frames to a tailing follower. 200 carries zero
+// or more whole frames plus the generation, conservative primary seq, and
+// log size headers; 409 tells the follower its position's generation is
+// gone and it must re-bootstrap from the checkpoint.
+func (a *api) replicationLog(w http.ResponseWriter, r *http.Request) {
+	src, err := a.srv.ReplicationSource()
+	if err != nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
+		return
+	}
+	q := r.URL.Query()
+	epoch, err := strconv.ParseUint(q.Get("epoch"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("bad epoch %q", q.Get("epoch")))
+		return
+	}
+	from, err := strconv.ParseInt(q.Get("from"), 10, 64)
+	if err != nil || from < 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("bad from offset %q", q.Get("from")))
+		return
+	}
+	var maxBytes int64
+	if v := q.Get("max_bytes"); v != "" {
+		if maxBytes, err = strconv.ParseInt(v, 10, 64); err != nil || maxBytes < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("bad max_bytes %q", v))
+			return
+		}
+	}
+	ch, err := src.Tail(epoch, from, maxBytes)
+	h := w.Header()
+	h.Set(replica.HeaderRunID, src.RunID())
+	if errors.Is(err, replica.ErrConflict) {
+		h.Set(replica.HeaderEpoch, strconv.FormatUint(ch.Epoch, 10))
+		writeError(w, http.StatusConflict, CodeConflict, err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err)
+		return
+	}
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(replica.HeaderEpoch, strconv.FormatUint(ch.Epoch, 10))
+	h.Set(replica.HeaderSeq, strconv.FormatUint(ch.Seq, 10))
+	h.Set(replica.HeaderSize, strconv.FormatInt(ch.Size, 10))
+	h.Set(replica.HeaderNext, strconv.FormatInt(ch.From+int64(len(ch.Data)), 10))
+	w.WriteHeader(http.StatusOK)
+	w.Write(ch.Data) //nolint:errcheck
 }
 
 // stageJSON renders one pipeline stage's latency digest (seconds, like the
@@ -594,12 +858,15 @@ func (a *api) events(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.FromSeq = from
 	} else if lei := r.Header.Get("Last-Event-ID"); lei != "" {
-		last, err := strconv.ParseUint(strings.TrimSpace(lei), 10, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("bad Last-Event-ID %q", lei))
-			return
+		// Per the SSE spec the client cannot clear Last-Event-ID once any
+		// event set it, and EventSource replays whatever it last saw —
+		// possibly an id another endpoint minted. An unparseable id is
+		// therefore ignored (live tail), never a 400: rejecting it would
+		// wedge the browser's reconnect loop forever, since every retry
+		// carries the same header.
+		if last, err := strconv.ParseUint(strings.TrimSpace(lei), 10, 64); err == nil {
+			opts.FromSeq = last + 1
 		}
-		opts.FromSeq = last + 1
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {

@@ -1,0 +1,129 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"annotadb"
+)
+
+func TestRateGateRefill(t *testing.T) {
+	g := newRateGate(10) // burst clamps to 1 token
+	base := time.Now()
+	g.last, g.tokens = base, g.burst
+
+	if ok, _ := g.allow(base); !ok {
+		t.Fatal("first read within burst was shed")
+	}
+	ok, retry := g.allow(base)
+	if ok {
+		t.Fatal("read beyond the burst was admitted")
+	}
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Errorf("retry hint = %v, want (0, 100ms] at 10 reads/s", retry)
+	}
+	if ok, _ := g.allow(base.Add(150 * time.Millisecond)); !ok {
+		t.Error("read after a full token refilled was shed")
+	}
+}
+
+func TestNilRateGateIsUnlimited(t *testing.T) {
+	if g := newRateGate(0); g != nil {
+		t.Errorf("rate 0 built a gate: %+v", g)
+	}
+	if g := newRateGate(-3); g != nil {
+		t.Errorf("negative rate built a gate: %+v", g)
+	}
+}
+
+// gatedServer serves a two-tuple dataset behind a ReadRate-limited handler.
+func gatedServer(t *testing.T, rate float64) *httptest.Server {
+	t.Helper()
+	ds := annotadb.NewDataset()
+	for i := 0; i < 4; i++ {
+		if _, err := ds.AddTuple([]string{"28", "85"}, []string{"Annot_1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := annotadb.NewEngine(ds, annotadb.Options{MinSupport: 0.3, MinConfidence: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := annotadb.NewServer(eng, annotadb.ServeOptions{BatchWindow: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWithOptions(srv, context.Background(), Options{ReadRate: rate}))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return ts
+}
+
+func TestReadGateShedsAndRecovers(t *testing.T) {
+	ts := gatedServer(t, 5) // burst 1: the second immediate read sheds
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := get("/recommend?tuple=0")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first read = %d, want 200", resp.StatusCode)
+	}
+
+	resp = get("/recommend?tuple=0")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("read beyond the cap = %d, want 429", resp.StatusCode)
+	}
+	hint, err := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64)
+	if err != nil || hint <= 0 || hint > 1 {
+		t.Errorf("Retry-After = %q (%v), want fractional seconds in (0, 1]", resp.Header.Get("Retry-After"), err)
+	}
+	var envelope struct {
+		Error ErrorJSON `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error.Code != CodeOverloaded {
+		t.Errorf("shed read error = %+v (%v), want code %q", envelope, err, CodeOverloaded)
+	}
+	resp.Body.Close()
+
+	// /rules shares the gate; /stats and /healthz stay ungated (operators
+	// and load balancers must see an overloaded replica, not a 429 from it).
+	resp = get("/rules")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("GET /rules beyond the cap = %d, want 429", resp.StatusCode)
+	}
+	for _, path := range []string{"/stats", "/healthz"} {
+		resp = get(path)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s under read shed = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	// Tokens refill with time: the cap sheds load, it does not latch.
+	time.Sleep(300 * time.Millisecond)
+	resp = get("/recommend?tuple=0")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("read after refill = %d, want 200", resp.StatusCode)
+	}
+}

@@ -77,6 +77,18 @@ type Scenario struct {
 	// MaxBackoffSeconds caps the Retry-After honored per backoff sleep
 	// (the jittered sleep is uniform in [0.5, 1.5) × the capped hint).
 	MaxBackoffSeconds float64 `json:"max_backoff_seconds"`
+	// Followers asks the local boot (StartLocal, annotload -local) for this
+	// many read replicas behind the primary; the target's reads then
+	// round-robin across the primary and its followers while writes stay on
+	// the primary. Against a remote target the field is advisory —
+	// Target.ReadURLs carries the actual read endpoints.
+	Followers int `json:"followers"`
+	// ReadRate asks the local boot for a per-instance read admission cap
+	// (reads per second on each of primary and followers; 0 = unlimited).
+	// With it set, aggregate 2xx read throughput measures admitted
+	// capacity — which grows with the follower count — instead of
+	// whatever a shared-CPU loopback happens to sustain.
+	ReadRate float64 `json:"read_rate"`
 	// Seed makes the run's traffic deterministic.
 	Seed int64 `json:"seed"`
 }
@@ -132,6 +144,12 @@ func (s Scenario) Validate() error {
 	if s.Subscribers < 0 {
 		return errors.New("load: negative subscriber count")
 	}
+	if s.Followers < 0 {
+		return errors.New("load: negative follower count")
+	}
+	if s.ReadRate < 0 {
+		return errors.New("load: negative read rate")
+	}
 	if _, err := workload.NewStream(s.Corpus, s.Seed); err != nil {
 		return err
 	}
@@ -140,8 +158,15 @@ func (s Scenario) Validate() error {
 
 // Target is the server a run drives.
 type Target struct {
-	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080". Writes,
+	// the /stats probe, and SSE subscribers always go here.
 	BaseURL string
+	// ReadURLs, when non-empty, are the endpoints GET /recommend reads
+	// round-robin across — typically the primary plus its read replicas
+	// (Local.ReadURLs after a StartLocal with Followers set). Replica reads
+	// carry the client's write watermark as a min_seq barrier, so the
+	// read-your-writes check keeps its meaning under bounded staleness.
+	ReadURLs []string
 	// Client issues the requests; nil uses a transport sized for the
 	// scenario's concurrency.
 	Client *http.Client
@@ -238,12 +263,18 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 
 // runState is the shared state of one run.
 type runState struct {
-	sc       Scenario
-	base     string
-	client   *http.Client
-	relLen   int
-	maxAcked atomic.Uint64
-	seqRegr  atomic.Uint64
+	sc     Scenario
+	base   string
+	client *http.Client
+	relLen int
+	// reads are the GET /recommend endpoints (just base without replicas);
+	// readIdx round-robins across them; replicaReads marks that some of
+	// them are followers, so reads must carry the min_seq barrier.
+	reads        []string
+	readIdx      atomic.Uint64
+	replicaReads bool
+	maxAcked     atomic.Uint64
+	seqRegr      atomic.Uint64
 
 	recommend   endpoint
 	annotations endpoint
@@ -293,7 +324,12 @@ func Run(ctx context.Context, tgt Target, sc Scenario) (*Report, error) {
 		tr.MaxIdleConnsPerHost = sc.Concurrency + sc.Subscribers + 8
 		client = &http.Client{Transport: tr}
 	}
-	st := &runState{sc: sc, base: tgt.BaseURL, client: client}
+	st := &runState{sc: sc, base: tgt.BaseURL, client: client, reads: tgt.ReadURLs}
+	if len(st.reads) == 0 {
+		st.reads = []string{tgt.BaseURL}
+	} else {
+		st.replicaReads = true
+	}
 	relLen, err := fetchTuples(ctx, client, tgt.BaseURL)
 	if err != nil {
 		return nil, fmt.Errorf("load: probe target: %w", err)
@@ -410,41 +446,67 @@ func (st *runState) doOne(ctx context.Context, w *worker) {
 	}
 }
 
-// doRecommend reads one tuple's recommendations and checks the
-// read-your-writes watermark.
+// doRecommend reads one tuple's recommendations — round-robin across the
+// read endpoints — and checks the read-your-writes watermark. When the
+// rotation includes replicas, the read carries the watermark as a min_seq
+// barrier: a follower serves bounded staleness, and only a barrier read
+// makes "answer seq below my acked writes" a violation rather than lag. A
+// read shed by a per-instance admission cap (429) counts once toward Shed
+// and retries — on the next endpoint in the rotation — under the same
+// policy as writes.
 func (st *runState) doRecommend(ctx context.Context, w *worker) {
 	idx := w.rng.Intn(st.relLen)
-	floor := st.maxAcked.Load()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		st.base+"/recommend?tuple="+strconv.Itoa(idx), nil)
-	if err != nil {
-		st.recommend.errors.Add(1)
-		return
-	}
-	startAt := time.Now()
-	resp, err := st.client.Do(req)
-	if err != nil {
-		if ctx.Err() == nil {
-			st.recommend.errors.Add(1)
+	for attempt := 0; ; attempt++ {
+		floor := st.maxAcked.Load()
+		url := st.reads[st.readIdx.Add(1)%uint64(len(st.reads))] +
+			"/recommend?tuple=" + strconv.Itoa(idx)
+		if st.replicaReads && floor > 0 {
+			url += "&min_seq=" + strconv.FormatUint(floor, 10) + "&wait_ms=5000"
 		}
-		return
-	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		st.recommend.errors.Add(1)
-		return
-	}
-	var body struct {
-		Seq uint64 `json:"seq"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		st.recommend.errors.Add(1)
-		return
-	}
-	st.recommend.hist.Observe(time.Since(startAt))
-	st.recommend.requests.Add(1)
-	if body.Seq < floor {
-		st.seqRegr.Add(1)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			st.recommend.errors.Add(1)
+			return
+		}
+		startAt := time.Now()
+		resp, err := st.client.Do(req)
+		if err != nil {
+			if ctx.Err() == nil {
+				st.recommend.errors.Add(1)
+			}
+			return
+		}
+		if resp.StatusCode == http.StatusOK {
+			var body struct {
+				Seq uint64 `json:"seq"`
+			}
+			decodeErr := json.NewDecoder(resp.Body).Decode(&body)
+			drain(resp)
+			if decodeErr != nil {
+				st.recommend.errors.Add(1)
+				return
+			}
+			st.recommend.hist.Observe(time.Since(startAt))
+			st.recommend.requests.Add(1)
+			if body.Seq < floor {
+				st.seqRegr.Add(1)
+			}
+			return
+		}
+		retryAfter := resp.Header.Get("Retry-After")
+		drain(resp)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			st.recommend.errors.Add(1)
+			return
+		}
+		st.recommend.shed.Add(1)
+		if attempt >= st.sc.MaxRetries {
+			return
+		}
+		if !st.backoff(ctx, w, retryAfter) {
+			return
+		}
+		st.recommend.retries.Add(1)
 	}
 }
 
@@ -531,20 +593,29 @@ func (st *runState) postWrite(ctx context.Context, w *worker, path string, body 
 		if attempt >= st.sc.MaxRetries {
 			return
 		}
-		hint := 1.0
-		if v, err := strconv.ParseFloat(retryAfter, 64); err == nil && v > 0 {
-			hint = v
-		}
-		if hint > st.sc.MaxBackoffSeconds {
-			hint = st.sc.MaxBackoffSeconds
-		}
-		sleep := time.Duration(hint * (0.5 + w.rng.Float64()) * float64(time.Second))
-		select {
-		case <-ctx.Done():
+		if !st.backoff(ctx, w, retryAfter) {
 			return
-		case <-time.After(sleep):
 		}
 		ep.retries.Add(1)
+	}
+}
+
+// backoff sleeps one jittered Retry-After interval (capped by the
+// scenario) before a 429 retry; false means the run ended mid-sleep.
+func (st *runState) backoff(ctx context.Context, w *worker, retryAfter string) bool {
+	hint := 1.0
+	if v, err := strconv.ParseFloat(retryAfter, 64); err == nil && v > 0 {
+		hint = v
+	}
+	if hint > st.sc.MaxBackoffSeconds {
+		hint = st.sc.MaxBackoffSeconds
+	}
+	sleep := time.Duration(hint * (0.5 + w.rng.Float64()) * float64(time.Second))
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(sleep):
+		return true
 	}
 }
 

@@ -1,0 +1,215 @@
+// Package replica implements read replicas for the serving stack: a
+// primary-side Source that pages the durable store's write-ahead log over a
+// transport, and a follower that bootstraps from the primary's checkpoint,
+// tails the log, and applies the records through its own serving core —
+// publishing the same immutable snapshots a primary would, minus the write
+// path.
+//
+// # Protocol
+//
+// A follower's position is (epoch, offset): the checkpoint generation it
+// bootstrapped from and the byte offset of the next log frame in that
+// generation's offset space (the log header occupies [0, LogHeaderSize)).
+// The source serves three answers to a tail request:
+//
+//   - Matching generation: the frames at [offset, size), plus the log size
+//     and a conservative primary snapshot sequence (sampled before the size,
+//     so a follower that applies through size may advertise it — see the
+//     watermark contract below).
+//   - One generation ahead of the log (the primary has installed a
+//     checkpoint but not yet truncated the covered prefix): offsets are
+//     translated through the checkpoint's CoveredBytes and served from the
+//     old log's uncovered tail.
+//   - Anything else: ErrConflict. The follower discards its state for this
+//     generation and re-bootstraps from the current checkpoint.
+//
+// # Watermark contract
+//
+// The sequence a tail response carries is sampled before the log size it
+// carries. Every acknowledged primary write publishes its snapshot (in seq
+// order) before the ack, and appends its log record before that publish; so
+// any write acknowledged with seq ≤ the sample already had its record below
+// the sampled size. A follower that has applied every record below that
+// size therefore reflects every write acknowledged at or before the sample,
+// and may serve the sample as its read-your-writes watermark. Sequences
+// restart when the primary process does; the run id ties a watermark to one
+// primary run, and a follower adopts a new run id by resetting its
+// watermark to the next sample.
+package replica
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"annotadb/internal/storage"
+	"annotadb/internal/wal"
+)
+
+// Transport header names of the replication endpoints.
+const (
+	// HeaderEpoch carries the generation of a checkpoint or chunk.
+	HeaderEpoch = "X-Annotadb-Epoch"
+	// HeaderRunID identifies one primary process run; followers reset their
+	// watermark when it changes.
+	HeaderRunID = "X-Annotadb-Run-Id"
+	// HeaderSeq is the conservative primary snapshot sequence of a chunk.
+	HeaderSeq = "X-Annotadb-Seq"
+	// HeaderNext is the offset after a chunk's last frame.
+	HeaderNext = "X-Annotadb-Next"
+	// HeaderSize is the log size observed with a chunk.
+	HeaderSize = "X-Annotadb-Size"
+)
+
+// ErrConflict reports a tail position the source cannot serve: the log
+// moved to a generation the position does not belong to (a checkpoint
+// truncation, a primary restart that lost an unsynced tail, or a stale
+// follower from another history). The follower's only correct move is to
+// re-bootstrap from the current checkpoint.
+var ErrConflict = errors.New("replica: log generation conflict; re-bootstrap from the checkpoint")
+
+// Chunk is one tail page: frames plus the generation, watermark, and log
+// end they were read against.
+type Chunk struct {
+	// Epoch is the generation the chunk belongs to (the requested one).
+	Epoch uint64
+	// From is the offset Data starts at.
+	From int64
+	// Seq is the conservative primary snapshot sequence: sampled before
+	// Size, so it is a valid watermark once the follower has applied
+	// through Size.
+	Seq uint64
+	// Size is the log end observed with the read, in the chunk's offset
+	// space.
+	Size int64
+	// Data holds zero or more complete frames.
+	Data []byte
+}
+
+// Source serves a durable primary's checkpoint and log tail to followers.
+// Safe for concurrent use from transport handlers.
+type Source struct {
+	store *wal.Store
+	seq   func() uint64
+	runID string
+}
+
+// NewSource wraps a primary's durable store. seq must return the serving
+// core's current published snapshot sequence; it is sampled before every
+// tail read to uphold the watermark contract.
+func NewSource(store *wal.Store, seq func() uint64) (*Source, error) {
+	if store == nil {
+		return nil, errors.New("replica: source requires a durable store")
+	}
+	if seq == nil {
+		return nil, errors.New("replica: source requires a snapshot sequence probe")
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return nil, fmt.Errorf("replica: generate run id: %w", err)
+	}
+	return &Source{store: store, seq: seq, runID: hex.EncodeToString(b[:])}, nil
+}
+
+// RunID identifies this primary process run.
+func (s *Source) RunID() string { return s.runID }
+
+// Checkpoint returns the current checkpoint file's path and head metadata.
+// The path stays valid across concurrent checkpoint installs (they rename a
+// new file over it; an already-open descriptor keeps reading the old one).
+func (s *Source) Checkpoint() (string, storage.CheckpointMeta, error) {
+	path := wal.CheckpointPath(s.store.Dir())
+	meta, err := storage.ReadCheckpointMeta(path)
+	return path, meta, err
+}
+
+// OpenCheckpoint opens the current checkpoint for streaming to a follower,
+// returning the open file alongside its head metadata — both read through
+// one descriptor, so a checkpoint installing concurrently cannot desync
+// them (the rename leaves the open descriptor on the old file). A primary
+// that has never captured a checkpoint captures one on demand: a follower
+// cannot bootstrap from nothing. The caller owns closing the file; its read
+// offset is rewound to the start.
+func (s *Source) OpenCheckpoint() (*os.File, storage.CheckpointMeta, error) {
+	path := wal.CheckpointPath(s.store.Dir())
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		if cerr := s.store.Checkpoint(); cerr != nil {
+			return nil, storage.CheckpointMeta{}, fmt.Errorf("replica: capture bootstrap checkpoint: %w", cerr)
+		}
+		f, err = os.Open(path)
+	}
+	if err != nil {
+		return nil, storage.CheckpointMeta{}, err
+	}
+	meta, err := storage.ReadCheckpointMetaFrom(f)
+	if err != nil {
+		f.Close()
+		return nil, storage.CheckpointMeta{}, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, storage.CheckpointMeta{}, err
+	}
+	return f, meta, nil
+}
+
+// Tail reads one chunk of log frames for a follower at (epoch, from).
+// Returns ErrConflict when the position's generation cannot be served (the
+// follower must re-bootstrap); other errors are transient (retry after
+// backoff).
+func (s *Source) Tail(epoch uint64, from, maxBytes int64) (Chunk, error) {
+	// Sample the primary sequence BEFORE any log size is read: the
+	// watermark contract (package doc) depends on this order.
+	p := s.seq()
+	// Two attempts: a translated read can discover that the pending
+	// truncation completed between the meta peek and the read, in which
+	// case the position serves directly on the second pass.
+	for attempt := 0; attempt < 2; attempt++ {
+		tc, err := s.store.ReadTail(from, maxBytes)
+		if err != nil && !errors.Is(err, wal.ErrTailOutOfRange) {
+			return Chunk{}, err
+		}
+		if tc.Epoch == epoch {
+			if err != nil {
+				// The follower knows about bytes this log does not hold: a
+				// primary restart lost an unsynced (but served) tail.
+				return Chunk{Epoch: tc.Epoch, Seq: p}, ErrConflict
+			}
+			return Chunk{Epoch: epoch, From: from, Seq: p, Size: tc.Size, Data: tc.Data}, nil
+		}
+		if epoch != tc.Epoch+1 {
+			return Chunk{Epoch: tc.Epoch, Seq: p}, ErrConflict
+		}
+		// The follower is one generation ahead of the log: it bootstrapped
+		// from a checkpoint whose covered-prefix truncation is still
+		// pending. Its offsets translate into the old log past the
+		// checkpoint's coverage.
+		_, meta, merr := s.Checkpoint()
+		if merr != nil || meta.Epoch != epoch {
+			return Chunk{Epoch: tc.Epoch, Seq: p}, ErrConflict
+		}
+		phys := int64(meta.CoveredBytes) + (from - wal.LogHeaderSize)
+		tc2, err2 := s.store.ReadTail(phys, maxBytes)
+		if err2 != nil && !errors.Is(err2, wal.ErrTailOutOfRange) {
+			return Chunk{}, err2
+		}
+		if tc2.Epoch == epoch {
+			continue // truncation completed underneath; serve directly
+		}
+		if tc2.Epoch != epoch-1 || err2 != nil || tc2.Size < int64(meta.CoveredBytes) {
+			return Chunk{Epoch: tc2.Epoch, Seq: p}, ErrConflict
+		}
+		return Chunk{
+			Epoch: epoch,
+			From:  from,
+			Seq:   p,
+			Size:  wal.LogHeaderSize + (tc2.Size - int64(meta.CoveredBytes)),
+			Data:  tc2.Data,
+		}, nil
+	}
+	return Chunk{}, errors.New("replica: log generation moved during read; retry")
+}

@@ -851,33 +851,17 @@ func (s *Store) Close() error {
 
 // applyRecord replays one log record through the engine's ordinary
 // incremental update paths, re-interning tokens (replay order matches the
-// original append order, so interning is deterministic).
+// original append order, so interning is deterministic). The token
+// resolution is shared with replication followers (ResolveAnnotations,
+// ResolveTuples), which replay the same records against their own engines.
 func (s *Store) applyRecord(rec Record) error {
 	dict := s.eng.Relation().Dictionary()
-	// annotItem resolves a logged annotation token. Lookup-first matters:
-	// a derived generalization label is a legal annotation in an update
-	// batch but is interned under a different kind, so blindly re-interning
-	// as a raw annotation would fail recovery forever.
-	annotItem := func(token string) (itemset.Item, error) {
-		if it, ok := dict.Lookup(token); ok {
-			if !it.IsAnnotation() {
-				return itemset.None, badRecord("token %q is a data value, not an annotation", token)
-			}
-			return it, nil
-		}
-		return dict.InternAnnotation(token)
-	}
 	switch rec.Kind {
 	case KindAddAnnotations, KindRemoveAnnotations:
-		updates := make([]relation.AnnotationUpdate, 0, len(rec.Updates))
-		for _, u := range rec.Updates {
-			it, err := annotItem(u.Annotation)
-			if err != nil {
-				return fmt.Errorf("wal: replay annotation %q: %w", u.Annotation, err)
-			}
-			updates = append(updates, relation.AnnotationUpdate{Index: u.Tuple, Annotation: it})
+		updates, err := ResolveAnnotations(dict, rec.Updates)
+		if err != nil {
+			return err
 		}
-		var err error
 		if rec.Kind == KindAddAnnotations {
 			_, err = s.eng.AddAnnotations(updates)
 		} else {
@@ -885,33 +869,19 @@ func (s *Store) applyRecord(rec Record) error {
 		}
 		return err
 	case KindAddTuples:
-		tuples := make([]relation.Tuple, 0, len(rec.Tuples))
-		annotated := false
-		for _, spec := range rec.Tuples {
-			items := make([]itemset.Item, 0, len(spec.Values)+len(spec.Annotations))
-			for _, tok := range spec.Values {
-				it, err := dict.InternData(tok)
-				if err != nil {
-					return fmt.Errorf("wal: replay tuple value %q: %w", tok, err)
-				}
-				items = append(items, it)
-			}
-			for _, tok := range spec.Annotations {
-				it, err := annotItem(tok)
-				if err != nil {
-					return fmt.Errorf("wal: replay tuple annotation %q: %w", tok, err)
-				}
-				items = append(items, it)
-			}
-			tu := relation.NewTuple(items...)
-			if tu.Annotated() {
-				annotated = true
-			}
-			tuples = append(tuples, tu)
+		tuples, err := ResolveTuples(dict, rec.Tuples)
+		if err != nil {
+			return err
 		}
 		// Route exactly as the serving writer does: any annotated tuple in
 		// the batch selects the Case 1 path.
-		var err error
+		annotated := false
+		for _, tu := range tuples {
+			if tu.Annotated() {
+				annotated = true
+				break
+			}
+		}
 		if annotated {
 			_, err = s.eng.AddAnnotatedTuples(tuples)
 		} else {

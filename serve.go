@@ -12,6 +12,7 @@ import (
 	"annotadb/internal/metrics"
 	"annotadb/internal/mining"
 	"annotadb/internal/relation"
+	"annotadb/internal/replica"
 	"annotadb/internal/rules"
 	"annotadb/internal/serve"
 	"annotadb/internal/shard"
@@ -97,6 +98,14 @@ type Server struct {
 	cluster     *shard.Cluster
 	storeClosed atomic.Bool
 
+	// follower is non-nil on a read replica (see Follow): reads serve from
+	// its current world, writes fail with ErrFollower. replicaSrc is the
+	// primary-side replication feed (non-nil only on unsharded durable
+	// servers). retry is the shed-write backoff hint (see RetryAfter).
+	follower   *replica.Follower
+	replicaSrc *replica.Source
+	retry      time.Duration
+
 	// stream is the rule-churn broker (nil when disabled); eventLog is its
 	// durable segment log (nil for in-memory servers). Close closes both
 	// after the writers have drained.
@@ -159,7 +168,13 @@ func NewServer(e *Engine, opts ServeOptions) (*Server, error) {
 			}
 			return nil, err
 		}
-		return &Server{router: router, cluster: e.cluster, stream: broker, eventLog: eventLog}, nil
+		return &Server{
+			router:   router,
+			cluster:  e.cluster,
+			stream:   broker,
+			eventLog: eventLog,
+			retry:    retryHint(opts.BatchWindow, storeFlushWindow(nil, e.cluster.Stores())),
+		}, nil
 	}
 	if opts.Shards > 1 {
 		if e.store != nil {
@@ -183,13 +198,29 @@ func NewServer(e *Engine, opts ServeOptions) (*Server, error) {
 	if broker != nil {
 		cfg.Stream = stream.NewPublisher(broker, 0, e.ds.rel.Dictionary())
 	}
-	return &Server{
+	s := &Server{
 		ds:       e.ds,
 		core:     serve.New(e.eng, cfg),
 		store:    e.store,
 		stream:   broker,
 		eventLog: eventLog,
-	}, nil
+		retry:    retryHint(opts.BatchWindow, storeFlushWindow(e.store, nil)),
+	}
+	if s.store != nil {
+		// An unsharded durable server owns the one checkpoint + log a
+		// follower needs, so it is born replicable; the source's run id
+		// identifies this process run to followers across restarts.
+		src, err := replica.NewSource(s.store, s.core.Seq)
+		if err != nil {
+			s.core.Close(context.Background()) //nolint:errcheck
+			if broker != nil {
+				broker.Close() //nolint:errcheck
+			}
+			return nil, err
+		}
+		s.replicaSrc = src
+	}
+	return s, nil
 }
 
 // NewShardedServer partitions the dataset by annotation family into
@@ -227,7 +258,7 @@ func newShardedInMemory(d *Dataset, cfg mining.Config, sopts ServeOptions) (*Ser
 		}
 		return nil, err
 	}
-	return &Server{router: router, stream: broker}, nil
+	return &Server{router: router, stream: broker, retry: retryHint(sopts.BatchWindow, 0)}, nil
 }
 
 func (o ServeOptions) internal() serve.Config {
@@ -256,6 +287,15 @@ func (s *Server) Shards() int {
 // Reads remain valid (and final) after Close; writes fail with an error.
 // Close is idempotent: later calls return nil once the first completed.
 func (s *Server) Close(ctx context.Context) error {
+	if s.follower != nil {
+		// Stop the tail loop first (it is the world core's only writer), then
+		// close the core; the stream broker seals last so subscribers drain.
+		err := s.follower.Close(ctx)
+		if streamErr := s.closeStream(); streamErr != nil && err == nil {
+			err = streamErr
+		}
+		return err
+	}
 	if s.router != nil {
 		err := s.router.Close(ctx)
 		if s.cluster == nil || err != nil {
@@ -318,9 +358,22 @@ func (s *Server) closeStream() error {
 }
 
 // Dataset returns the served dataset (treat as read-only), or nil for a
-// sharded server: its state lives in per-shard replicas with no merged
-// live relation.
+// sharded server (its state lives in per-shard replicas with no merged
+// live relation) and for a follower (its relation is rebuilt on every
+// re-bootstrap; read through the serving methods instead).
 func (s *Server) Dataset() *Dataset { return s.ds }
+
+// world returns the serving core and relation unsharded reads go against:
+// the follower's current world, or the primary core and its live relation.
+// The pair comes from one atomic load, so core and relation always belong
+// to the same bootstrap generation.
+func (s *Server) world() (*serve.Server, *relation.Relation) {
+	if s.follower != nil {
+		w := s.follower.World()
+		return w.Core, w.Rel
+	}
+	return s.core, s.ds.rel
+}
 
 // publicShardRule converts a token-form shard rule to the public type.
 func publicShardRule(r shard.Rule) Rule {
@@ -364,6 +417,26 @@ func (s *Server) Rules() []Rule {
 		// there is no "newer" to protect: last render wins, and any cached
 		// entry is internally consistent with its own vector.
 		s.rendered.Store(&renderedRules{seqs: seqs, rules: out})
+		return out
+	}
+	if s.follower != nil {
+		// A follower's local sequence restarts at every re-bootstrap, so the
+		// scalar key (strictly increasing on a primary) would collide across
+		// worlds; key on (world generation, local seq) via the vector slot
+		// instead, last render wins like the sharded path.
+		w := s.follower.World()
+		snap := w.Core.Snapshot()
+		key := []uint64{w.Gen, snap.Seq}
+		if c := s.rendered.Load(); c != nil && c.matches(key) {
+			return c.rules
+		}
+		dict := w.Rel.Dictionary()
+		sorted := snap.Rules.Sorted()
+		out := make([]Rule, len(sorted))
+		for i, r := range sorted {
+			out[i] = publicRule(r, dict)
+		}
+		s.rendered.Store(&renderedRules{seqs: key, rules: out})
 		return out
 	}
 	snap := s.core.Snapshot()
@@ -449,6 +522,20 @@ func (s *Server) RecommendAt(idx int) ([]Recommendation, ReadSeq, error) {
 		}
 		return publicShardRecommendations(recs), rs, nil
 	}
+	if s.follower != nil {
+		// A follower's local sequence is meaningless to clients (it restarts
+		// on re-bootstrap); advertise the replication watermark instead —
+		// the primary sequence whose acknowledged writes are all visible in
+		// this answer. Sample it before the read: the snapshot the read uses
+		// can only be at or beyond the watermark's apply point.
+		rs := ReadSeq{Seq: s.follower.Seq()}
+		w := s.follower.World()
+		recs, _, err := w.Core.Recommend(idx)
+		if err != nil {
+			return nil, rs, err
+		}
+		return publicRecommendations(recs, w.Rel.Dictionary()), rs, nil
+	}
 	recs, seq, err := s.core.Recommend(idx)
 	if err != nil {
 		return nil, ReadSeq{Seq: seq}, err
@@ -478,7 +565,8 @@ func (s *Server) RecommendForTuple(spec TupleSpec) ([]Recommendation, error) {
 		recs := s.router.RecommendIncoming(shard.TupleSpec{Values: spec.Values, Annotations: spec.Annotations})
 		return publicShardRecommendations(recs), nil
 	}
-	dict := s.ds.rel.Dictionary()
+	core, rel := s.world()
+	dict := rel.Dictionary()
 	items := make([]itemset.Item, 0, len(spec.Values)+len(spec.Annotations))
 	for _, tok := range spec.Values {
 		if it, ok := dict.Lookup(tok); ok {
@@ -491,7 +579,7 @@ func (s *Server) RecommendForTuple(spec TupleSpec) ([]Recommendation, error) {
 		}
 	}
 	tu := relation.NewTuple(items...)
-	return publicRecommendations(s.core.RecommendIncoming(tu), dict), nil
+	return publicRecommendations(core.RecommendIncoming(tu), dict), nil
 }
 
 // AddAnnotations submits a Case 3 batch and waits until it is applied and
@@ -504,6 +592,9 @@ func (s *Server) RecommendForTuple(spec TupleSpec) ([]Recommendation, error) {
 // cannot grow the shared dictionary (which would let bad requests leak
 // permanent state).
 func (s *Server) AddAnnotations(ctx context.Context, batch []AnnotationUpdate) (UpdateReport, error) {
+	if s.follower != nil {
+		return UpdateReport{}, ErrFollower
+	}
 	if s.router != nil {
 		rep, err := s.router.AddAnnotations(ctx, shardUpdates(batch))
 		if err != nil {
@@ -553,6 +644,9 @@ func (s *Server) validateIndexes(batch []AnnotationUpdate) error {
 // RemoveAnnotations submits an annotation-removal batch and waits until it
 // is applied. Entries whose annotation is absent are skipped and reported.
 func (s *Server) RemoveAnnotations(ctx context.Context, batch []AnnotationUpdate) (UpdateReport, error) {
+	if s.follower != nil {
+		return UpdateReport{}, ErrFollower
+	}
 	if s.router != nil {
 		rep, err := s.router.RemoveAnnotations(ctx, shardUpdates(batch))
 		if err != nil {
@@ -585,6 +679,9 @@ func (s *Server) RemoveAnnotations(ctx context.Context, batch []AnnotationUpdate
 // to every shard: each replica receives every tuple's data values plus the
 // annotations its families own, in the same order.
 func (s *Server) AddTuples(ctx context.Context, batch []TupleSpec) (UpdateReport, error) {
+	if s.follower != nil {
+		return UpdateReport{}, ErrFollower
+	}
 	if s.router != nil {
 		specs := make([]shard.TupleSpec, len(batch))
 		for i, t := range batch {
@@ -615,6 +712,9 @@ func (s *Server) AddTuples(ctx context.Context, batch []TupleSpec) (UpdateReport
 // ApplyUpdateFile reads a Figure 14-format annotation batch and submits it.
 // Like AddAnnotations, indexes are validated before tokens are interned.
 func (s *Server) ApplyUpdateFile(ctx context.Context, r io.Reader) (UpdateReport, error) {
+	if s.follower != nil {
+		return UpdateReport{}, ErrFollower
+	}
 	lines, err := storage.ReadUpdateBatch(r, storage.Options{})
 	if err != nil {
 		return UpdateReport{}, err
@@ -667,7 +767,8 @@ func (s *Server) serveLen() int {
 	if s.router != nil {
 		return s.router.Len()
 	}
-	return s.ds.rel.Len()
+	_, rel := s.world()
+	return rel.Len()
 }
 
 // ShardServerStats is one shard's serving statistics inside ServerStats.
@@ -782,6 +883,13 @@ type ServerStats struct {
 	// PerShard carries each shard's serving statistics (nil when
 	// unsharded).
 	PerShard []ShardServerStats
+	// Replication is the follower's position relative to its primary (nil
+	// on a primary). On a follower, SnapshotSeq above is the LOCAL apply
+	// generation (it restarts at every re-bootstrap); Replication.Seq is
+	// the primary-sequence watermark clients should reason about, and the
+	// RelVersion/LiveRelVersion staleness measures the local apply loop,
+	// not distance from the primary.
+	Replication *ReplicationStats
 }
 
 // Stats returns current serving statistics.
@@ -826,8 +934,10 @@ func (s *Server) Stats() ServerStats {
 		}
 		return out
 	}
-	st := s.core.Stats()
+	core, _ := s.world()
+	st := core.Stats()
 	return ServerStats{
+		Replication:         s.Replication(),
 		SnapshotSeq:         st.Seq,
 		Tuples:              st.N,
 		RuleCount:           st.RuleCount,
