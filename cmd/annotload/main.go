@@ -2,10 +2,11 @@
 // load generator for annotserve-compatible servers.
 //
 // It drives a target with a configurable mix of GET /recommend reads,
-// POST /annotations and POST /tuples writes, and long-lived SSE
-// GET /events subscribers, honoring 429 Retry-After with jittered
-// backoff, and reports client-side p50/p99/max latency per endpoint,
-// achieved vs offered throughput, shed counts, and SSE gap/resume counts.
+// GET /correlate anchor queries, POST /annotations and POST /tuples
+// writes, and long-lived SSE GET /events subscribers, honoring 429
+// Retry-After with jittered backoff, and reports client-side p50/p99/max
+// latency per endpoint, achieved vs offered throughput, shed counts, and
+// SSE gap/resume counts.
 //
 // Usage:
 //
@@ -59,6 +60,7 @@ func run(args []string) error {
 		readFrac    = fs.Float64("reads", 0.80, "read (GET /recommend) fraction of the mix")
 		annFrac     = fs.Float64("annotates", 0.15, "annotation write fraction of the mix")
 		tupFrac     = fs.Float64("tuples-frac", 0.05, "tuple write fraction of the mix")
+		corrRate    = fs.Float64("correlate-frac", 0, "anchor query (GET /correlate) fraction of the mix")
 		subscribers = fs.Int("subscribers", 0, "long-lived SSE /events subscribers held open for the run")
 		reconnect   = fs.Float64("subscriber-reconnect", 0, "drop+resume each subscriber on this period in seconds (0 = never)")
 		batch       = fs.Int("batch", 16, "annotation updates per POST /annotations")
@@ -74,6 +76,9 @@ func run(args []string) error {
 		dir         = fs.String("dir", "", "-local: durable data directory (empty = in-memory)")
 		queueDepth  = fs.Int("queue-depth", 0, "-local: write admission queue depth (0 = default)")
 		localEvents = fs.Bool("events", true, "-local: serve the SSE event stream")
+		correlate   = fs.Bool("correlate", false, "-local: run the churn-anomaly detector (GET /correlate is always served)")
+		anomWindow  = fs.Duration("anomaly-window", 0, "-local: churn-anomaly counting window under -correlate (0 = 5s)")
+		anomThresh  = fs.Float64("anomaly-threshold", 0, "-local: spike multiplier over the EWMA baseline under -correlate (0 = 4)")
 		minSupport  = fs.Float64("min-support", 0, "-local: mining support threshold (0 = paper default 0.4; metrics/linguistic corpora plant correlations nearer 0.05)")
 		minConf     = fs.Float64("min-confidence", 0, "-local: mining confidence threshold (0 = paper default 0.8)")
 	)
@@ -88,17 +93,20 @@ func run(args []string) error {
 	defer stop()
 
 	localOpts := load.LocalOptions{
-		Corpus:        *corpus,
-		Tuples:        *tuples,
-		Seed:          *seed,
-		Shards:        *shards,
-		Dir:           *dir,
-		Followers:     *followers,
-		ReadRate:      *readRate,
-		QueueDepth:    *queueDepth,
-		Events:        *localEvents,
-		MinSupport:    *minSupport,
-		MinConfidence: *minConf,
+		Corpus:           *corpus,
+		Tuples:           *tuples,
+		Seed:             *seed,
+		Shards:           *shards,
+		Dir:              *dir,
+		Followers:        *followers,
+		ReadRate:         *readRate,
+		QueueDepth:       *queueDepth,
+		Events:           *localEvents,
+		Correlate:        *correlate,
+		AnomalyWindow:    *anomWindow,
+		AnomalyThreshold: *anomThresh,
+		MinSupport:       *minSupport,
+		MinConfidence:    *minConf,
 	}
 
 	if *experiments != "" {
@@ -115,6 +123,7 @@ func run(args []string) error {
 		ReadFraction:               *readFrac,
 		AnnotateFraction:           *annFrac,
 		TupleFraction:              *tupFrac,
+		CorrelateRate:              *corrRate,
 		Subscribers:                *subscribers,
 		SubscriberReconnectSeconds: *reconnect,
 		BatchSize:                  *batch,

@@ -15,6 +15,7 @@
 //	           [-data-dir ./annotdata] [-fsync always]
 //	           [-flush-window 1ms] [-max-group-bytes 1048576]
 //	           [-checkpoint-bytes 4194304] [-checkpoint-age 0]
+//	           [-correlate] [-anomaly-window 5s] [-anomaly-threshold 4]
 //	annotserve -follow http://primary:8080 [-addr :8081]
 //	           [-min-support 0.4] [-min-confidence 0.8]
 //
@@ -50,6 +51,11 @@
 //	                   recommendations for one tuple, tagged with the
 //	                   snapshot seq they came from; negative N is 400,
 //	                   beyond-the-snapshot N is 404
+//	GET  /correlate    ?anchor=<token> — top-K annotations associated with
+//	                   the anchor (annotation or data value), ranked by
+//	                   confidence and lift, chi-square significance filtered
+//	                   (?k=, ?min_lift=); an anchor the snapshot has never
+//	                   seen is 404
 //	POST /annotations  apply an annotation batch: JSON
 //	                   {"updates":[{"tuple":0,"annotation":"Annot_3"}]}
 //	                   with optional "remove":true, or a text/plain body in
@@ -130,7 +136,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		eventRetain   = fs.Int("event-retain", 0, "sealed event segments retained for cursor resume (0 = 8, negative retains all)")
 		follow        = fs.String("follow", "", "run as a read replica of this primary base URL (e.g. http://primary:8080); mining flags must match the primary's")
 		followPoll    = fs.Duration("follow-poll", 0, "log tail interval while caught up with the primary (0 = 50ms)")
-		readRate      = fs.Float64("read-rate", 0, "per-instance read admission cap in reads/s on GET /rules and /recommend; excess reads shed with 429 + Retry-After (0 = unlimited)")
+		readRate      = fs.Float64("read-rate", 0, "per-instance read admission cap in reads/s on GET /rules, /recommend, and /correlate; excess reads shed with 429 + Retry-After (0 = unlimited)")
+		correlateFlag = fs.Bool("correlate", false, "run the churn-anomaly detector: watch per-family rule churn against an EWMA baseline and publish churn_anomaly events on /events (anchor queries on GET /correlate are always served)")
+		anomalyWindow = fs.Duration("anomaly-window", 0, "churn-anomaly counting window under -correlate (0 = 5s)")
+		anomalyThresh = fs.Float64("anomaly-threshold", 0, "spike multiplier over the EWMA baseline that makes a window anomalous under -correlate (0 = 4)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -175,6 +184,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			RetainSegments: *eventRetain,
 			FlushWindow:    *flushWindow,
 		},
+		Correlate: annotadb.CorrelateOptions{
+			Anomalies:        *correlateFlag,
+			AnomalyWindow:    *anomalyWindow,
+			AnomalyThreshold: *anomalyThresh,
+		},
+	}
+	if *correlateFlag && !*events {
+		return errors.New("-correlate needs the event stream; drop -events=false")
 	}
 	var (
 		srv *annotadb.Server

@@ -1,0 +1,175 @@
+package annotadb
+
+import (
+	"time"
+
+	"annotadb/internal/correlate"
+	"annotadb/internal/serve"
+)
+
+// ErrUnknownAnchor is returned by Server.Correlate for an anchor token with
+// no occurrence in the queried generation — never seen by the dataset, or
+// attached to no tuple the snapshot can see. Callers mapping it to a
+// transport status should return 404 Not Found.
+var ErrUnknownAnchor = correlate.ErrUnknownAnchor
+
+// CorrelateOptions configure the churn-anomaly side of the correlation-
+// discovery subsystem. Anchor queries need no configuration — they are
+// always served.
+type CorrelateOptions struct {
+	// Anomalies starts the churn-anomaly detector: a subscriber of the
+	// rule-churn event stream that tracks per-family churn rates against
+	// an EWMA baseline and publishes churn_anomaly events back into the
+	// stream. It requires the stream to be enabled.
+	Anomalies bool
+	// AnomalyWindow is the churn-counting period (0 = 5s).
+	AnomalyWindow time.Duration
+	// AnomalyThreshold is the spike multiplier over the EWMA baseline that
+	// makes a window anomalous (0 = 4).
+	AnomalyThreshold float64
+}
+
+// CorrelateResult is one ranked candidate of an anchor query.
+type CorrelateResult struct {
+	// Token is the candidate annotation; Family its annotation family.
+	Token  string
+	Family string
+	// Count is the anchor∧candidate co-occurrence count and Frequency the
+	// candidate's own occurrence count, both in the answering generation.
+	Count     int
+	Frequency int
+	// Confidence is Count over the anchor's count; Lift the observed-over-
+	// expected co-occurrence ratio (> 1 means positive association).
+	Confidence float64
+	Lift       float64
+	// ChiSquare and PValue are the independence-test statistics (one
+	// degree of freedom) behind the significance filter.
+	ChiSquare float64
+	PValue    float64
+}
+
+// CorrelateAnswer is the result of one anchor query.
+type CorrelateAnswer struct {
+	// Anchor echoes the anchor token; AnchorCount is its occurrence count
+	// in the answering generation; N the generation's tuple count.
+	Anchor      string
+	AnchorCount int
+	N           int
+	// Results are the significance-filtered top-K candidates, ranked by
+	// confidence then lift (descending), token ascending on ties.
+	Results []CorrelateResult
+}
+
+// Correlate answers an anchor query: the top-k annotations most strongly
+// associated with the anchor token (an annotation or a data value), ranked
+// by confidence and lift and filtered by a chi-square significance test,
+// with candidates below minLift dropped. k <= 0 and minLift <= 0 apply the
+// defaults (10 and 1.0). The whole answer comes from one published snapshot
+// generation — identified by the returned ReadSeq — using a per-generation
+// index cached on the snapshot, so the query takes zero engine locks. A
+// sharded server merges its per-shard indexes at the returned seq vector; a
+// follower answers from its replica snapshot and reports the replication
+// watermark.
+func (s *Server) Correlate(anchor string, k int, minLift float64) (CorrelateAnswer, ReadSeq, error) {
+	q := correlate.Query{Anchor: anchor, K: k, MinLift: minLift}
+	if q.K <= 0 {
+		q.K = correlate.DefaultK
+	}
+	if q.MinLift <= 0 {
+		q.MinLift = correlate.DefaultMinLift
+	}
+	if s.router != nil {
+		snaps := s.router.Snapshots()
+		seqs := make([]uint64, len(snaps))
+		idxs := make([]*correlate.Index, len(snaps))
+		for i, sn := range snaps {
+			seqs[i] = sn.Snap.Seq
+			idxs[i] = s.correlateIndex(sn.Snap)
+		}
+		rs := ReadSeq{Seq: seqSum(seqs), Shards: seqs}
+		ans, err := correlate.TopKMerged(idxs, q)
+		if err != nil {
+			return CorrelateAnswer{}, rs, err
+		}
+		return publicAnswer(ans), rs, nil
+	}
+	if s.follower != nil {
+		// Like RecommendAt: advertise the replication watermark, sampled
+		// before the read so the snapshot can only be at or beyond it.
+		rs := ReadSeq{Seq: s.follower.Seq()}
+		w := s.follower.World()
+		ans, err := s.correlateIndex(w.Core.Snapshot()).TopK(q)
+		if err != nil {
+			return CorrelateAnswer{}, rs, err
+		}
+		return publicAnswer(ans), rs, nil
+	}
+	snap := s.core.Snapshot()
+	rs := ReadSeq{Seq: snap.Seq}
+	ans, err := s.correlateIndex(snap).TopK(q)
+	if err != nil {
+		return CorrelateAnswer{}, rs, err
+	}
+	return publicAnswer(ans), rs, nil
+}
+
+// correlateIndex returns the snapshot's cached correlate index, building it
+// on the generation's first query and counting builds vs reuses.
+func (s *Server) correlateIndex(snap *serve.Snapshot) *correlate.Index {
+	idx, built := snap.Correlate.Get(snap.View)
+	if built {
+		s.correlateBuilds.Add(1)
+	} else {
+		s.correlateHits.Add(1)
+	}
+	return idx
+}
+
+func publicAnswer(a correlate.Answer) CorrelateAnswer {
+	out := CorrelateAnswer{
+		Anchor:      a.Anchor,
+		AnchorCount: a.AnchorCount,
+		N:           a.N,
+		Results:     make([]CorrelateResult, len(a.Results)),
+	}
+	for i, r := range a.Results {
+		out.Results[i] = CorrelateResult{
+			Token:      r.Token,
+			Family:     r.Family,
+			Count:      r.Count,
+			Frequency:  r.Frequency,
+			Confidence: r.Confidence,
+			Lift:       r.Lift,
+			ChiSquare:  r.ChiSquare,
+			PValue:     r.PValue,
+		}
+	}
+	return out
+}
+
+// CorrelateStats reports the correlation subsystem's activity.
+type CorrelateStats struct {
+	// IndexBuilds counts per-generation correlate index builds (at most
+	// one per published snapshot, paid by that generation's first query);
+	// CacheHits counts queries answered from an already-built index. On a
+	// sharded server both count per shard index.
+	IndexBuilds uint64
+	CacheHits   uint64
+	// Anomalies counts churn_anomaly events emitted by the detector;
+	// DetectorRunning reports whether one is running.
+	Anomalies       uint64
+	DetectorRunning bool
+}
+
+// CorrelateStats returns the correlation subsystem's counters.
+func (s *Server) CorrelateStats() CorrelateStats {
+	cs := CorrelateStats{
+		IndexBuilds: s.correlateBuilds.Load(),
+		CacheHits:   s.correlateHits.Load(),
+	}
+	if s.detector != nil {
+		cs.Anomalies = s.detector.Anomalies()
+		cs.DetectorRunning = true
+	}
+	return cs
+}

@@ -61,6 +61,13 @@ type ReplicationStats struct {
 	Conflicts  uint64
 	// TailErrors counts transient tail failures (primary unreachable, …).
 	TailErrors uint64
+	// LagMillis is the wall-clock freshness estimate: milliseconds since
+	// the follower last confirmed the primary's position (applied a frame,
+	// or polled the log and found itself caught up). A caught-up idle
+	// follower stays near its poll interval; a follower cut off from its
+	// primary grows without bound — the number operators alarm on without
+	// decoding seq deltas.
+	LagMillis int64
 }
 
 // Follow starts a read replica of the primary named in fopts: it bootstraps
@@ -115,7 +122,12 @@ func Follow(opts Options, sopts ServeOptions, fopts FollowOptions) (*Server, err
 		}
 		return nil, err
 	}
-	return &Server{follower: f, stream: broker, retry: retryHint(sopts.BatchWindow, 0)}, nil
+	s := &Server{follower: f, stream: broker, retry: retryHint(sopts.BatchWindow, 0)}
+	if err := s.startDetector(sopts.Correlate, f.Seq); err != nil {
+		s.Close(context.Background()) //nolint:errcheck
+		return nil, err
+	}
+	return s, nil
 }
 
 // Follower reports whether this server is a read replica.
@@ -137,6 +149,7 @@ func (s *Server) Replication() *ReplicationStats {
 		Bootstraps: st.Bootstraps,
 		Conflicts:  st.Conflicts,
 		TailErrors: st.TailErrors,
+		LagMillis:  st.Lag.Milliseconds(),
 	}
 }
 

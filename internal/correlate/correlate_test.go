@@ -1,0 +1,367 @@
+package correlate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"annotadb/internal/relation"
+)
+
+func TestParseQuery(t *testing.T) {
+	cases := []struct {
+		name               string
+		anchor, k, minLift string
+		want               Query
+		wantErr            bool
+	}{
+		{name: "defaults", anchor: "cpu:high", want: Query{Anchor: "cpu:high", K: DefaultK, MinLift: DefaultMinLift}},
+		{name: "explicit", anchor: "a", k: "3", minLift: "1.5", want: Query{Anchor: "a", K: 3, MinLift: 1.5}},
+		{name: "zero lift disables the floor", anchor: "a", minLift: "0", want: Query{Anchor: "a", K: DefaultK, MinLift: 0}},
+		{name: "max k", anchor: "a", k: "1000", want: Query{Anchor: "a", K: MaxK, MinLift: DefaultMinLift}},
+		{name: "missing anchor", wantErr: true},
+		{name: "k zero", anchor: "a", k: "0", wantErr: true},
+		{name: "k negative", anchor: "a", k: "-1", wantErr: true},
+		{name: "k over max", anchor: "a", k: "1001", wantErr: true},
+		{name: "k garbage", anchor: "a", k: "ten", wantErr: true},
+		{name: "min_lift negative", anchor: "a", minLift: "-0.5", wantErr: true},
+		{name: "min_lift nan", anchor: "a", minLift: "NaN", wantErr: true},
+		{name: "min_lift inf", anchor: "a", minLift: "Inf", wantErr: true},
+		{name: "min_lift garbage", anchor: "a", minLift: "much", wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseQuery(tc.anchor, tc.k, tc.minLift)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ParseQuery(%q, %q, %q) = %+v, want error", tc.anchor, tc.k, tc.minLift, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseQuery(%q, %q, %q): %v", tc.anchor, tc.k, tc.minLift, err)
+			}
+			if got != tc.want {
+				t.Fatalf("ParseQuery(%q, %q, %q) = %+v, want %+v", tc.anchor, tc.k, tc.minLift, got, tc.want)
+			}
+		})
+	}
+}
+
+// randomRelation builds a relation with skewed annotation placement: a pool
+// of families × levels, each annotation attached to a random subset of
+// tuples, plus repeated data values so data anchors have real postings.
+func randomRelation(rng *rand.Rand, n int) *relation.Relation {
+	rel := relation.New()
+	dict := rel.Dictionary()
+	annots := []string{
+		"cpu:high", "cpu:low", "mem:high", "mem:low",
+		"io:slow", "io:fast", "net:sat", "disk:full", "oom:kill", "plain",
+	}
+	for i := 0; i < n; i++ {
+		data := []string{fmt.Sprintf("host=h%d", rng.Intn(8)), fmt.Sprintf("img=i%d", rng.Intn(4))}
+		var attach []string
+		for _, a := range annots {
+			if rng.Float64() < 0.25 {
+				attach = append(attach, a)
+			}
+		}
+		rel.Append(relation.MustTuple(dict, data, attach))
+	}
+	return rel
+}
+
+// TestTopKMatchesBruteForce is the equivalence property: the cached-index
+// answer equals the O(N·M) no-derived-structure recomputation, for data and
+// annotation anchors across random relations, ks, and lift floors.
+func TestTopKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 20; round++ {
+		rel := randomRelation(rng, 50+rng.Intn(200))
+		view := rel.View()
+		idx := NewIndex(view)
+		anchors := []string{"cpu:high", "mem:low", "oom:kill", "host=h1", "img=i2", "plain"}
+		for _, anchor := range anchors {
+			q := Query{Anchor: anchor, K: 1 + rng.Intn(12), MinLift: []float64{0, 1, 1.2}[rng.Intn(3)]}
+			got, gotErr := idx.TopK(q)
+			want, wantErr := BruteForce(view, q)
+			if (gotErr != nil) != (wantErr != nil) {
+				t.Fatalf("round %d anchor %q: TopK err %v, BruteForce err %v", round, anchor, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				if !errors.Is(gotErr, ErrUnknownAnchor) {
+					t.Fatalf("round %d anchor %q: unexpected error %v", round, anchor, gotErr)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d anchor %q k=%d minLift=%v:\n index: %+v\n brute: %+v",
+					round, anchor, q.K, q.MinLift, got, want)
+			}
+		}
+	}
+}
+
+func TestTopKUnknownAnchor(t *testing.T) {
+	rel := relation.New()
+	dict := rel.Dictionary()
+	rel.Append(relation.MustTuple(dict, []string{"v1"}, []string{"a:x"}))
+	idx := NewIndex(rel.View())
+	if _, err := idx.TopK(Query{Anchor: "never-seen", K: 5, MinLift: 1}); !errors.Is(err, ErrUnknownAnchor) {
+		t.Fatalf("unknown token: got %v, want ErrUnknownAnchor", err)
+	}
+	if _, err := BruteForce(rel.View(), Query{Anchor: "never-seen", K: 5, MinLift: 1}); !errors.Is(err, ErrUnknownAnchor) {
+		t.Fatalf("brute force unknown token: got %v, want ErrUnknownAnchor", err)
+	}
+}
+
+// plantedRelation builds the significance golden fixture: 500 tuples where
+// sched:throttle genuinely follows cpu:high (co 90 of 100) while net:sat has
+// the exact same support (100) but is spread independently, so its overlap
+// with the anchor (20) is precisely the product of the margins.
+func plantedRelation() *relation.Relation {
+	rel := relation.New()
+	dict := rel.Dictionary()
+	for i := 0; i < 500; i++ {
+		src := "src=b"
+		if i < 100 {
+			src = "src=a"
+		}
+		var attach []string
+		if i < 100 {
+			attach = append(attach, "cpu:high")
+		}
+		if i < 90 || (i >= 100 && i < 110) {
+			attach = append(attach, "sched:throttle")
+		}
+		if i%5 == 0 {
+			attach = append(attach, "net:sat")
+		}
+		rel.Append(relation.MustTuple(dict, []string{src, fmt.Sprintf("row=%d", i)}, attach))
+	}
+	return rel
+}
+
+// TestSignificanceGolden checks the planted correlation beats equal-support
+// noise: both candidates have support 100, but only the dependent one passes
+// the chi-square filter — the reason the filter exists.
+func TestSignificanceGolden(t *testing.T) {
+	idx := NewIndex(plantedRelation().View())
+	for _, anchor := range []string{"cpu:high", "src=a"} {
+		ans, err := idx.TopK(Query{Anchor: anchor, K: 10, MinLift: 1})
+		if err != nil {
+			t.Fatalf("TopK(%q): %v", anchor, err)
+		}
+		if ans.AnchorCount != 100 || ans.N != 500 {
+			t.Fatalf("TopK(%q): anchor count %d / n %d, want 100 / 500", anchor, ans.AnchorCount, ans.N)
+		}
+		var planted *Result
+		for i := range ans.Results {
+			switch ans.Results[i].Token {
+			case "sched:throttle":
+				planted = &ans.Results[i]
+			case "net:sat":
+				t.Fatalf("TopK(%q): independent equal-support noise survived the significance filter: %+v",
+					anchor, ans.Results[i])
+			}
+		}
+		if planted == nil {
+			t.Fatalf("TopK(%q): planted correlation missing from %+v", anchor, ans.Results)
+		}
+		if planted.Count != 90 || planted.Frequency != 100 {
+			t.Fatalf("TopK(%q): planted counts %d/%d, want 90/100", anchor, planted.Count, planted.Frequency)
+		}
+		if math.Abs(planted.Confidence-0.9) > 1e-12 || math.Abs(planted.Lift-4.5) > 1e-12 {
+			t.Fatalf("TopK(%q): planted confidence %v lift %v, want 0.9 / 4.5", anchor, planted.Confidence, planted.Lift)
+		}
+		if planted.ChiSquare < ChiSquareCutoff || planted.PValue > 0.05 {
+			t.Fatalf("TopK(%q): planted chi2 %v p %v should clear the cutoff", anchor, planted.ChiSquare, planted.PValue)
+		}
+		if planted.Family != "sched" {
+			t.Fatalf("TopK(%q): planted family %q, want sched", anchor, planted.Family)
+		}
+	}
+	// The noise IS reachable with the filters off: prove the filter, not the
+	// candidate enumeration, is what removed it.
+	ans, err := idx.TopK(Query{Anchor: "cpu:high", K: 100, MinLift: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range ans.Results {
+		found = found || r.Token == "net:sat"
+	}
+	if found {
+		// net:sat has chi2 == 0 < cutoff, so even minLift 0 keeps it out;
+		// it must only appear through BruteForce's pre-filter counting.
+		t.Fatalf("net:sat passed the significance filter: %+v", ans.Results)
+	}
+}
+
+// shardedFixture splits plantedRelation by annotation family across two
+// "shards" that share tuple positions: every shard holds every tuple's data
+// values, each family's annotations live on exactly one shard — the sharded
+// store's contract TopKMerged leans on.
+func shardedFixture(t *testing.T) (merged *relation.View, shards []*Index) {
+	t.Helper()
+	full := plantedRelation()
+	famShard := map[string]int{"cpu": 0, "net": 0, "sched": 1}
+	rels := []*relation.Relation{relation.New(), relation.New()}
+	full.View().Each(func(i int, tu relation.Tuple) bool {
+		dict := full.Dictionary()
+		var data []string
+		for _, it := range tu.Data {
+			data = append(data, dict.Token(it))
+		}
+		annots := make([][]string, len(rels))
+		for _, a := range tu.Annots {
+			token := dict.Token(a)
+			s := famShard[familyOf(token)]
+			annots[s] = append(annots[s], token)
+		}
+		for s, rel := range rels {
+			rel.Append(relation.MustTuple(rel.Dictionary(), data, annots[s]))
+		}
+		return true
+	})
+	shards = []*Index{NewIndex(rels[0].View()), NewIndex(rels[1].View())}
+	return full.View(), shards
+}
+
+// TestTopKMergedMatchesUnsharded: the position-aligned shard merge must be
+// indistinguishable from querying one unsharded relation holding the union,
+// for anchors living on either shard and for data anchors living on both.
+func TestTopKMergedMatchesUnsharded(t *testing.T) {
+	mergedView, shards := shardedFixture(t)
+	unsharded := NewIndex(mergedView)
+	for _, anchor := range []string{"cpu:high", "sched:throttle", "net:sat", "src=a"} {
+		for _, minLift := range []float64{0, 1} {
+			q := Query{Anchor: anchor, K: 20, MinLift: minLift}
+			want, wantErr := unsharded.TopK(q)
+			got, gotErr := TopKMerged(shards, q)
+			if (gotErr != nil) != (wantErr != nil) {
+				t.Fatalf("anchor %q: merged err %v, unsharded err %v", anchor, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("anchor %q minLift %v:\n merged:    %+v\n unsharded: %+v", anchor, minLift, got, want)
+			}
+		}
+	}
+	if _, err := TopKMerged(shards, Query{Anchor: "nope", K: 5, MinLift: 1}); !errors.Is(err, ErrUnknownAnchor) {
+		t.Fatalf("merged unknown anchor: got %v, want ErrUnknownAnchor", err)
+	}
+	if _, err := TopKMerged(nil, Query{Anchor: "cpu:high", K: 5, MinLift: 1}); !errors.Is(err, ErrUnknownAnchor) {
+		t.Fatalf("merged with no shards: got %v, want ErrUnknownAnchor", err)
+	}
+}
+
+// TestTopKMergedClampsRaggedShards: shards whose tuple counts diverge (one
+// shard's writer ahead of the other) must be merged at the shortest prefix,
+// matching an unsharded relation truncated to that length.
+func TestTopKMergedClampsRaggedShards(t *testing.T) {
+	_, shards := shardedFixture(t)
+	// Extend shard 0 by 40 tuples the other shard has not seen yet.
+	longer := relation.New()
+	shards[0].View().Each(func(_ int, tu relation.Tuple) bool {
+		dict := shards[0].View().Dictionary()
+		var data, annots []string
+		for _, it := range tu.Data {
+			data = append(data, dict.Token(it))
+		}
+		for _, a := range tu.Annots {
+			annots = append(annots, dict.Token(a))
+		}
+		longer.Append(relation.MustTuple(longer.Dictionary(), data, annots))
+		return true
+	})
+	for i := 0; i < 40; i++ {
+		longer.Append(relation.MustTuple(longer.Dictionary(),
+			[]string{"src=a", fmt.Sprintf("extra=%d", i)}, []string{"cpu:high", "net:sat"}))
+	}
+	ragged := []*Index{NewIndex(longer.View()), shards[1]}
+	q := Query{Anchor: "cpu:high", K: 20, MinLift: 0}
+	got, err := TopKMerged(ragged, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := TopKMerged(shards, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 500 || got.AnchorCount != want.AnchorCount {
+		t.Fatalf("ragged merge: n %d anchor %d, want n 500 anchor %d", got.N, got.AnchorCount, want.AnchorCount)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ragged merge diverged from aligned merge:\n ragged:  %+v\n aligned: %+v", got, want)
+	}
+}
+
+func TestLazyBuildsOnce(t *testing.T) {
+	view := plantedRelation().View()
+	var l Lazy
+	idx1, built1 := l.Get(view)
+	idx2, built2 := l.Get(view)
+	if !built1 || built2 {
+		t.Fatalf("built flags = %v, %v; want true, false", built1, built2)
+	}
+	if idx1 != idx2 {
+		t.Fatal("Lazy handed out two different indexes for one generation")
+	}
+}
+
+func FuzzParseCorrelateQuery(f *testing.F) {
+	f.Add("cpu:high", "10", "1.0")
+	f.Add("", "", "")
+	f.Add("a", "-3", "NaN")
+	f.Add("img=i0", "1001", "-1")
+	f.Add("x", "999999999999999999999", "1e309")
+	f.Fuzz(func(t *testing.T, anchor, k, minLift string) {
+		q, err := ParseQuery(anchor, k, minLift)
+		if err != nil {
+			return
+		}
+		if q.Anchor != anchor || q.Anchor == "" {
+			t.Fatalf("accepted query lost its anchor: %+v from (%q, %q, %q)", q, anchor, k, minLift)
+		}
+		if q.K < 1 || q.K > MaxK {
+			t.Fatalf("accepted k %d outside [1, %d]", q.K, MaxK)
+		}
+		if math.IsNaN(q.MinLift) || math.IsInf(q.MinLift, 0) || q.MinLift < 0 {
+			t.Fatalf("accepted min_lift %v is not a finite non-negative number", q.MinLift)
+		}
+	})
+}
+
+func BenchmarkCorrelateTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	rel := randomRelation(rng, 5000)
+	idx := NewIndex(rel.View())
+	q := Query{Anchor: "cpu:high", K: DefaultK, MinLift: DefaultMinLift}
+	if _, err := idx.TopK(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.TopK(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorrelateIndexBuild is the cost a generation's first query pays.
+func BenchmarkCorrelateIndexBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	view := randomRelation(rng, 5000).View()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewIndex(view)
+	}
+}

@@ -1,0 +1,206 @@
+package correlate
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"annotadb/internal/stream"
+)
+
+func testOpts() DetectorOptions {
+	return DetectorOptions{Threshold: 4, MinEvents: 4, Alpha: 0.5, MaxRelated: 2}.withDefaults()
+}
+
+func observeN(tr *tracker, family string, n int) {
+	for i := 0; i < n; i++ {
+		tr.observe(family)
+	}
+}
+
+func TestTrackerFirstWindowOnlySeeds(t *testing.T) {
+	tr := newTracker(testOpts())
+	observeN(tr, "cpu", 100)
+	if got := tr.roll(); len(got) != 0 {
+		t.Fatalf("first window alerted: %+v", got)
+	}
+	if tr.baseline["cpu"] != 100 {
+		t.Fatalf("baseline after seed = %v, want 100", tr.baseline["cpu"])
+	}
+}
+
+func TestTrackerSpikeAlerts(t *testing.T) {
+	tr := newTracker(testOpts())
+	observeN(tr, "cpu", 2)
+	observeN(tr, "mem", 5)
+	tr.roll()
+	// 20 > 4×2 and ≥ MinEvents: anomaly against the window-1 baseline. mem
+	// churns 3 in the same window (no alert: 3 < 4×5) and rides along as
+	// the co-churned family.
+	observeN(tr, "cpu", 20)
+	observeN(tr, "mem", 3)
+	got := tr.roll()
+	want := []anomaly{{family: "cpu", count: 20, baseline: 2, related: []string{"mem"}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("roll() = %+v, want %+v", got, want)
+	}
+	// EWMA fold (alpha 0.5): cpu 0.5×20 + 0.5×2 = 11; mem 0.5×3 + 0.5×5 = 4.
+	if tr.baseline["cpu"] != 11 || tr.baseline["mem"] != 4 {
+		t.Fatalf("baselines after fold = %v, want cpu 11 mem 4", tr.baseline)
+	}
+}
+
+func TestTrackerMinEventsFloor(t *testing.T) {
+	tr := newTracker(testOpts())
+	observeN(tr, "io", 1)
+	tr.roll()
+	// 3 > 4×0.5 (the decayed baseline) but 3 < MinEvents: a quiet family's
+	// trickle is not a spike.
+	tr.roll() // silent window decays io's baseline to 0.5
+	observeN(tr, "io", 3)
+	if got := tr.roll(); len(got) != 0 {
+		t.Fatalf("sub-floor window alerted: %+v", got)
+	}
+}
+
+func TestTrackerSilentDecay(t *testing.T) {
+	tr := newTracker(testOpts())
+	observeN(tr, "net", 8)
+	tr.roll()
+	tr.roll()
+	tr.roll()
+	if got := tr.baseline["net"]; got != 2 { // 8 × 0.5 × 0.5
+		t.Fatalf("baseline after two silent windows = %v, want 2", got)
+	}
+}
+
+func TestTrackerRelatedRankedAndCapped(t *testing.T) {
+	tr := newTracker(testOpts()) // MaxRelated 2
+	for _, fam := range []string{"b", "c", "d"} {
+		observeN(tr, fam, 2)
+	}
+	observeN(tr, "a", 4)
+	tr.roll()
+	// Only a spikes (40 > 4×4); b/c/d churn along below their 4×2 = 8
+	// thresholds and become the related list.
+	observeN(tr, "a", 40)
+	observeN(tr, "b", 7)
+	observeN(tr, "c", 6)
+	observeN(tr, "d", 8)
+	got := tr.roll()
+	if len(got) != 1 || got[0].family != "a" {
+		t.Fatalf("roll() = %+v, want one anomaly for a", got)
+	}
+	// Count descending, name ascending on ties, capped at MaxRelated.
+	if want := []string{"d", "b"}; !reflect.DeepEqual(got[0].related, want) {
+		t.Fatalf("related = %v, want %v", got[0].related, want)
+	}
+}
+
+func TestTrackerMultipleSpikesSortedByFamily(t *testing.T) {
+	tr := newTracker(testOpts())
+	observeN(tr, "z", 1)
+	observeN(tr, "a", 1)
+	tr.roll()
+	observeN(tr, "z", 10)
+	observeN(tr, "a", 10)
+	got := tr.roll()
+	if len(got) != 2 || got[0].family != "a" || got[1].family != "z" {
+		t.Fatalf("roll() = %+v, want [a, z]", got)
+	}
+}
+
+// TestDetectorEmitsChurnAnomaly drives the full pipeline: rule-churn events
+// published into a broker, the detector windowing them, and a churn_anomaly
+// event coming back out of the same broker with the payload fields set.
+func TestDetectorEmitsChurnAnomaly(t *testing.T) {
+	b := stream.NewBroker(stream.Options{Ring: 4096})
+	defer b.Close()
+
+	d, err := StartDetector(b, DetectorOptions{
+		Window:    20 * time.Millisecond,
+		Threshold: 2,
+		MinEvents: 4,
+	}, func() uint64 { return 77 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sub, err := b.Subscribe(ctx, stream.SubscribeOptions{Kinds: []stream.Kind{stream.KindChurnAnomaly}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	churn := func(n int) {
+		evs := make([]stream.Event, n)
+		for i := range evs {
+			evs[i] = stream.Event{Kind: stream.KindPromoted, Tier: stream.TierValid, Family: "cpu", RHS: "cpu:high"}
+		}
+		if err := b.Publish(0, 1, evs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Seed a small baseline and let several windows roll so "cpu" is a
+	// known family with a tiny (decaying) baseline, then burst every tick.
+	// The first window made wholly of bursts counts ≥ 40 against a
+	// baseline ≤ 4, clearing threshold 2 and MinEvents 4 — wall-clock
+	// windows blur which window that is, not whether one alerts.
+	churn(4)
+	time.Sleep(150 * time.Millisecond)
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			t.Fatal("no churn_anomaly before timeout")
+		case ev := <-sub.Events:
+			if ev.Kind != stream.KindChurnAnomaly {
+				t.Fatalf("subscription filtered to churn_anomaly delivered %q", ev.Kind)
+			}
+			if ev.Family != "cpu" {
+				t.Fatalf("anomaly family %q, want cpu", ev.Family)
+			}
+			if ev.WindowMillis != 20 || ev.Count == 0 || ev.Baseline <= 0 {
+				t.Fatalf("anomaly payload incomplete: %+v", ev)
+			}
+			if ev.Seq != 77 {
+				t.Fatalf("anomaly seq %d, want the seqFn value 77", ev.Seq)
+			}
+			if d.Anomalies() == 0 {
+				t.Fatal("detector emitted an anomaly but counts zero")
+			}
+			d.Stop()
+			d.Stop() // idempotent
+			return
+		case <-ticker.C:
+			churn(40)
+		}
+	}
+}
+
+// TestDetectorIgnoresItsOwnOutput: anomalies carry no rule family churn —
+// the detector subscribes to rule kinds only, so a stream full of
+// churn_anomaly events (or gaps) never feeds back into the tracker.
+func TestDetectorIgnoresItsOwnOutput(t *testing.T) {
+	b := stream.NewBroker(stream.Options{Ring: 64})
+	defer b.Close()
+	d, err := StartDetector(b, DetectorOptions{Window: 10 * time.Millisecond, Threshold: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	for i := 0; i < 50; i++ {
+		if err := b.Publish(0, 0, []stream.Event{{Kind: stream.KindChurnAnomaly, Family: "cpu", Count: 99}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(60 * time.Millisecond)
+	if got := d.Anomalies(); got != 0 {
+		t.Fatalf("detector fed back on its own output: %d anomalies", got)
+	}
+}

@@ -1,0 +1,28 @@
+package correlate
+
+import (
+	"sync"
+
+	"annotadb/internal/relation"
+)
+
+// Lazy is the per-snapshot correlate index cache: one allocated per
+// published generation, filled by the first query against that generation.
+// Because the serving layer swaps in a fresh snapshot (and with it a fresh
+// Lazy) at every publish, invalidation needs no machinery at all — an old
+// generation's index is simply unreachable once its snapshot is.
+type Lazy struct {
+	once sync.Once
+	idx  *Index
+}
+
+// Get returns the generation's index, building it from view on first use.
+// built reports whether this call performed the build — the signal the
+// facade's index-build counter wants.
+func (l *Lazy) Get(view *relation.View) (idx *Index, built bool) {
+	l.once.Do(func() {
+		l.idx = NewIndex(view)
+		built = true
+	})
+	return l.idx, built
+}

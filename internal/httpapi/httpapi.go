@@ -14,6 +14,11 @@
 //	                   barrier — the read waits until the advertised seq
 //	                   reaches S (meaningful on followers; a primary's acked
 //	                   writes are always visible)
+//	GET  /correlate    ?anchor=<token> — the top-K annotations most strongly
+//	                   associated with the anchor, ranked by confidence and
+//	                   lift and filtered by a chi-square significance test
+//	                   (?k=, ?min_lift=); same seq reporting and min_seq
+//	                   barrier as /recommend
 //	POST /annotations  apply an annotation batch (JSON or Figure 14 text);
 //	                   the response reports the snapshot seq at ack time
 //	POST /tuples       append tuples; same seq reporting
@@ -35,9 +40,10 @@
 // the stable codes in the Code* constants.
 //
 // NewWithOptions can additionally cap admitted reads per second on this
-// instance (Options.ReadRate): excess /rules and /recommend requests shed
-// with 429 + Retry-After, the read-side counterpart of the write admission
-// queue, so each replica in a read fleet protects its own latency floor.
+// instance (Options.ReadRate): excess /rules, /recommend, and /correlate
+// requests shed with 429 + Retry-After, the read-side counterpart of the
+// write admission queue, so each replica in a read fleet protects its own
+// latency floor.
 package httpapi
 
 import (
@@ -54,6 +60,7 @@ import (
 	"time"
 
 	"annotadb"
+	"annotadb/internal/correlate"
 	"annotadb/internal/replica"
 )
 
@@ -86,10 +93,10 @@ const (
 // Options configure optional transport behavior; the zero value matches
 // New's defaults.
 type Options struct {
-	// ReadRate caps admitted GET /rules and GET /recommend requests per
-	// second on this instance (token bucket; 0 = unlimited). Excess reads
-	// shed with 429 + Retry-After — the read-side counterpart of the write
-	// admission queue. Each replica in a read fleet enforces its own cap,
+	// ReadRate caps admitted GET /rules, /recommend, and /correlate
+	// requests per second on this instance (token bucket; 0 = unlimited).
+	// Excess reads shed with 429 + Retry-After — the read-side counterpart
+	// of the write admission queue. Each replica in a read fleet enforces its own cap,
 	// so a replica protects its latency floor by shedding while the
 	// fleet's aggregate read capacity grows with the replica count.
 	ReadRate float64
@@ -135,6 +142,7 @@ func NewWithOptions(srv *annotadb.Server, streamCtx context.Context, opts Option
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /rules", a.rules)
 	mux.HandleFunc("GET /recommend", a.recommend)
+	mux.HandleFunc("GET /correlate", a.correlate)
 	mux.HandleFunc("POST /annotations", a.annotations)
 	mux.HandleFunc("POST /tuples", a.tuples)
 	mux.HandleFunc("GET /stats", a.stats)
@@ -405,35 +413,8 @@ func (a *api) recommend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("tuple index must be non-negative, got %d", idx))
 		return
 	}
-	if v := r.URL.Query().Get("min_seq"); v != "" {
-		// Read-your-writes barrier: wait until the advertised sequence
-		// reaches the seq the client's write was acknowledged at. On a
-		// primary the barrier is already satisfied (publish-before-ack); on
-		// a follower it waits for the replication watermark. Bounded by
-		// wait_ms (default 1s) so a stalled follower answers 503 instead of
-		// hanging until client disconnect.
-		minSeq, err := strconv.ParseUint(v, 10, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("bad min_seq %q", v))
-			return
-		}
-		wait := time.Second
-		if wms := r.URL.Query().Get("wait_ms"); wms != "" {
-			ms, err := strconv.Atoi(wms)
-			if err != nil || ms < 0 {
-				writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("bad wait_ms %q", wms))
-				return
-			}
-			wait = time.Duration(ms) * time.Millisecond
-		}
-		ctx, cancel := context.WithTimeout(r.Context(), wait)
-		err = a.srv.WaitSeq(ctx, minSeq)
-		cancel()
-		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
-				fmt.Errorf("seq barrier %d not reached within %v: %w", minSeq, wait, err))
-			return
-		}
+	if !a.seqBarrier(w, r) {
+		return
 	}
 	recs, seq, err := a.srv.RecommendAt(idx)
 	if err != nil {
@@ -452,6 +433,123 @@ func (a *api) recommend(w http.ResponseWriter, r *http.Request) {
 	if seq.Shards != nil {
 		// Sharded: the per-shard snapshot sequence vector the answer was
 		// assembled from.
+		body["seq_vector"] = seq.Shards
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// seqBarrier applies the optional ?min_seq (+?wait_ms) read-your-writes
+// barrier shared by /recommend and /correlate: the request waits until the
+// advertised sequence reaches the seq the client's write was acknowledged
+// at. On a primary the barrier is already satisfied (publish-before-ack); on
+// a follower it waits for the replication watermark. Bounded by wait_ms
+// (default 1s) so a stalled follower answers 503 instead of hanging until
+// client disconnect. Reports whether the handler may proceed; on false the
+// error response has been written.
+func (a *api) seqBarrier(w http.ResponseWriter, r *http.Request) bool {
+	v := r.URL.Query().Get("min_seq")
+	if v == "" {
+		return true
+	}
+	minSeq, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("bad min_seq %q", v))
+		return false
+	}
+	wait := time.Second
+	if wms := r.URL.Query().Get("wait_ms"); wms != "" {
+		ms, err := strconv.Atoi(wms)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Errorf("bad wait_ms %q", wms))
+			return false
+		}
+		wait = time.Duration(ms) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	err = a.srv.WaitSeq(ctx, minSeq)
+	cancel()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+			fmt.Errorf("seq barrier %d not reached within %v: %w", minSeq, wait, err))
+		return false
+	}
+	return true
+}
+
+// CorrelateResultJSON is the wire form of one ranked candidate in the
+// /correlate response.
+type CorrelateResultJSON struct {
+	Token      string  `json:"token"`
+	Family     string  `json:"family"`
+	Count      int     `json:"count"`
+	Frequency  int     `json:"frequency"`
+	Confidence float64 `json:"confidence"`
+	Lift       float64 `json:"lift"`
+	ChiSquare  float64 `json:"chi_square"`
+	PValue     float64 `json:"p_value"`
+}
+
+// correlate answers an anchor query: the top-K annotations most strongly
+// associated with ?anchor=, ranked by confidence then lift and filtered by
+// the chi-square significance test (?k= and ?min_lift= tune the cut). The
+// answer is assembled from one published snapshot generation — reported as
+// seq (and seq_vector when sharded) — and honors the same ?min_seq barrier
+// as /recommend, so a client can correlate against a follower without
+// reading backwards past its own writes.
+func (a *api) correlate(w http.ResponseWriter, r *http.Request) {
+	if !a.admitRead(w) {
+		return
+	}
+	q := r.URL.Query()
+	cq, err := correlate.ParseQuery(q.Get("anchor"), q.Get("k"), q.Get("min_lift"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err)
+		return
+	}
+	if !a.seqBarrier(w, r) {
+		return
+	}
+	ans, seq, err := a.srv.Correlate(cq.Anchor, cq.K, cq.MinLift)
+	if err != nil {
+		if errors.Is(err, annotadb.ErrUnknownAnchor) {
+			writeError(w, http.StatusNotFound, CodeNotFound, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err)
+		return
+	}
+	out := make([]CorrelateResultJSON, len(ans.Results))
+	for i, res := range ans.Results {
+		chi2 := res.ChiSquare
+		if math.IsInf(chi2, 1) {
+			// A degenerate 2×2 table (a zero margin: the anchor or the
+			// candidate covers every tuple) makes the statistic +Inf, which
+			// JSON cannot carry; the wire reports the largest finite float —
+			// still unmistakably beyond any cutoff.
+			chi2 = math.MaxFloat64
+		}
+		out[i] = CorrelateResultJSON{
+			Token:      res.Token,
+			Family:     res.Family,
+			Count:      res.Count,
+			Frequency:  res.Frequency,
+			Confidence: res.Confidence,
+			Lift:       res.Lift,
+			ChiSquare:  chi2,
+			PValue:     res.PValue,
+		}
+	}
+	body := map[string]any{
+		"anchor":       ans.Anchor,
+		"anchor_count": ans.AnchorCount,
+		"n":            ans.N,
+		"k":            cq.K,
+		"min_lift":     cq.MinLift,
+		"seq":          seq.Seq,
+		"count":        len(out),
+		"results":      out,
+	}
+	if seq.Shards != nil {
 		body["seq_vector"] = seq.Shards
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -601,6 +699,16 @@ func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 		}
 		body["stream"] = streamBody
 	}
+	if cs := a.srv.CorrelateStats(); cs.IndexBuilds > 0 || cs.CacheHits > 0 || cs.DetectorRunning {
+		// The correlation-discovery subsystem: per-generation index builds
+		// vs cache reuse, and the churn-anomaly detector's emission count.
+		body["correlate"] = map[string]any{
+			"index_builds":     cs.IndexBuilds,
+			"cache_hits":       cs.CacheHits,
+			"anomalies":        cs.Anomalies,
+			"detector_running": cs.DetectorRunning,
+		}
+	}
 	if d := a.srv.Durability(); d != nil {
 		durability := map[string]any{
 			"records_appended":     d.RecordsAppended,
@@ -671,6 +779,9 @@ func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 			"bootstraps":      rs.Bootstraps,
 			"conflicts":       rs.Conflicts,
 			"tail_errors":     rs.TailErrors,
+			// Wall-clock milliseconds since the primary's position was last
+			// confirmed — the freshness number operators alarm on.
+			"lag_ms": rs.LagMillis,
 		}
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -802,6 +913,13 @@ type EventJSON struct {
 	New       *EventCountsJSON `json:"new,omitempty"`
 	From      uint64           `json:"from,omitempty"`
 	To        uint64           `json:"to,omitempty"`
+	// churn_anomaly payload: the detection window, the spiking family's
+	// churn count in it, the EWMA baseline it beat, and the co-churned
+	// families of the same window.
+	WindowMillis int64    `json:"window_ms,omitempty"`
+	Count        uint64   `json:"count,omitempty"`
+	Baseline     float64  `json:"baseline,omitempty"`
+	Related      []string `json:"related,omitempty"`
 }
 
 func toEventCountsJSON(c *annotadb.RuleCounts) *EventCountsJSON {
@@ -832,6 +950,11 @@ func toEventJSON(ev annotadb.Event) EventJSON {
 		New:       toEventCountsJSON(ev.New),
 		From:      ev.From,
 		To:        ev.To,
+
+		WindowMillis: ev.WindowMillis,
+		Count:        ev.Count,
+		Baseline:     ev.Baseline,
+		Related:      ev.Related,
 	}
 }
 

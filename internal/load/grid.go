@@ -239,6 +239,7 @@ func WriteCSV(w io.Writer, results []CellResult) error {
 		"mode", "corpus", "seed", "followers", "duration_s", "offered_rps", "achieved_rps",
 		"completed", "shed", "errors", "seq_regressions",
 		"recommend_requests", "recommend_shed", "recommend_p50_ms", "recommend_p99_ms", "recommend_max_ms",
+		"correlate_requests", "correlate_shed", "correlate_misses", "correlate_p50_ms", "correlate_p99_ms",
 		"annotations_requests", "annotations_shed", "annotations_retries", "annotations_p50_ms", "annotations_p99_ms",
 		"tuples_requests", "tuples_shed", "tuples_retries", "tuples_p50_ms", "tuples_p99_ms",
 		"sse_subscribers", "sse_events", "sse_gaps", "sse_resumes", "sse_cursor_regressions",
@@ -259,13 +260,14 @@ func WriteCSV(w io.Writer, results []CellResult) error {
 				row = append(row, "")
 			}
 		}
-		errorsTotal := rep.Recommend.Errors + rep.Annotations.Errors + rep.Tuples.Errors
+		errorsTotal := rep.Recommend.Errors + rep.Correlate.Errors + rep.Annotations.Errors + rep.Tuples.Errors
 		row = append(row,
 			rep.Scenario.Mode, rep.Scenario.Corpus, strconv.FormatInt(rep.Scenario.Seed, 10),
 			strconv.Itoa(rep.Scenario.Followers),
 			f(rep.DurationSeconds), f(rep.OfferedRPS), f(rep.AchievedRPS),
 			u(rep.Completed), u(rep.TotalShed()), u(errorsTotal), u(rep.SeqRegressions),
 			u(rep.Recommend.Requests), u(rep.Recommend.Shed), f(rep.Recommend.P50Millis), f(rep.Recommend.P99Millis), f(rep.Recommend.MaxMillis),
+			u(rep.Correlate.Requests), u(rep.Correlate.Shed), u(rep.Correlate.Misses), f(rep.Correlate.P50Millis), f(rep.Correlate.P99Millis),
 			u(rep.Annotations.Requests), u(rep.Annotations.Shed), u(rep.Annotations.Retries), f(rep.Annotations.P50Millis), f(rep.Annotations.P99Millis),
 			u(rep.Tuples.Requests), u(rep.Tuples.Shed), u(rep.Tuples.Retries), f(rep.Tuples.P50Millis), f(rep.Tuples.P99Millis),
 			u(uint64(rep.SSE.Subscribers)), u(rep.SSE.Events), u(rep.SSE.Gaps), u(rep.SSE.Resumes), u(rep.SSE.CursorRegressions),

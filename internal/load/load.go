@@ -1,7 +1,8 @@
 // Package load is the macro load harness: a closed-loop and open-loop
 // HTTP load generator that drives an annotserve-compatible target with a
-// configurable mix of GET /recommend reads, POST /annotations and
-// POST /tuples writes, and long-lived SSE GET /events subscribers.
+// configurable mix of GET /recommend reads, GET /correlate anchor queries,
+// POST /annotations and POST /tuples writes, and long-lived SSE GET /events
+// subscribers.
 //
 // The generator honors 429 Retry-After with jittered backoff, measures
 // client-side latency per endpoint on the repository's log-scale
@@ -26,6 +27,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	neturl "net/url"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -59,6 +61,10 @@ type Scenario struct {
 	ReadFraction     float64 `json:"read_fraction"`
 	AnnotateFraction float64 `json:"annotate_fraction"`
 	TupleFraction    float64 `json:"tuple_fraction"`
+	// CorrelateRate weights GET /correlate anchor queries into the same
+	// normalized mix (0 = none). Anchors are sampled from the corpus's
+	// annotation stream, so hot annotations repeat with realistic skew.
+	CorrelateRate float64 `json:"correlate_rate"`
 	// Subscribers is the number of long-lived SSE /events clients held
 	// open for the whole run.
 	Subscribers int `json:"subscribers"`
@@ -112,7 +118,7 @@ func (s Scenario) WithDefaults() Scenario {
 	if s.Rate <= 0 {
 		s.Rate = 100
 	}
-	if s.ReadFraction == 0 && s.AnnotateFraction == 0 && s.TupleFraction == 0 {
+	if s.ReadFraction == 0 && s.AnnotateFraction == 0 && s.TupleFraction == 0 && s.CorrelateRate == 0 {
 		s.ReadFraction, s.AnnotateFraction, s.TupleFraction = 0.80, 0.15, 0.05
 	}
 	if s.BatchSize <= 0 {
@@ -135,10 +141,10 @@ func (s Scenario) Validate() error {
 	if s.Mode != "closed" && s.Mode != "open" {
 		return fmt.Errorf("load: mode %q is neither closed nor open", s.Mode)
 	}
-	if s.ReadFraction < 0 || s.AnnotateFraction < 0 || s.TupleFraction < 0 {
+	if s.ReadFraction < 0 || s.AnnotateFraction < 0 || s.TupleFraction < 0 || s.CorrelateRate < 0 {
 		return errors.New("load: negative mix fraction")
 	}
-	if s.ReadFraction+s.AnnotateFraction+s.TupleFraction <= 0 {
+	if s.ReadFraction+s.AnnotateFraction+s.TupleFraction+s.CorrelateRate <= 0 {
 		return errors.New("load: request mix sums to zero")
 	}
 	if s.Subscribers < 0 {
@@ -183,6 +189,11 @@ type EndpointReport struct {
 	Errors   uint64 `json:"errors"`
 	Shed     uint64 `json:"shed"`
 	Retries  uint64 `json:"retries"`
+	// Misses counts 404 responses on /correlate: the sampled anchor had no
+	// occurrence in the answering snapshot yet (expected early in a run,
+	// before the write mix applies it), so it is neither a success nor a
+	// server error. Always zero on other endpoints.
+	Misses uint64 `json:"misses,omitempty"`
 	// MeanMillis, P50Millis, P99Millis, and MaxMillis digest successful
 	// request latency in milliseconds.
 	MeanMillis float64 `json:"mean_ms"`
@@ -223,8 +234,10 @@ type Report struct {
 	// answers whose seq was below the largest write-acked seq known
 	// before the read was issued. Always zero on a correct server.
 	SeqRegressions uint64 `json:"seq_regressions"`
-	// Recommend, Annotations, and Tuples are the per-endpoint digests.
+	// Recommend, Correlate, Annotations, and Tuples are the per-endpoint
+	// digests.
 	Recommend   EndpointReport `json:"recommend"`
+	Correlate   EndpointReport `json:"correlate"`
 	Annotations EndpointReport `json:"annotations"`
 	Tuples      EndpointReport `json:"tuples"`
 	// SSE digests the event subscribers.
@@ -243,6 +256,7 @@ type endpoint struct {
 	errors   atomic.Uint64
 	shed     atomic.Uint64
 	retries  atomic.Uint64
+	misses   atomic.Uint64
 }
 
 func (e *endpoint) report() EndpointReport {
@@ -252,6 +266,7 @@ func (e *endpoint) report() EndpointReport {
 		Errors:     e.errors.Load(),
 		Shed:       e.shed.Load(),
 		Retries:    e.retries.Load(),
+		Misses:     e.misses.Load(),
 		MeanMillis: ms(s.Mean),
 		P50Millis:  ms(s.P50),
 		P99Millis:  ms(s.P99),
@@ -277,6 +292,7 @@ type runState struct {
 	seqRegr      atomic.Uint64
 
 	recommend   endpoint
+	correlate   endpoint
 	annotations endpoint
 	tuples      endpoint
 }
@@ -407,11 +423,12 @@ func Run(ctx context.Context, tgt Target, sc Scenario) (*Report, error) {
 		Scenario:        sc,
 		DurationSeconds: elapsed.Seconds(),
 		Recommend:       st.recommend.report(),
+		Correlate:       st.correlate.report(),
 		Annotations:     st.annotations.report(),
 		Tuples:          st.tuples.report(),
 		SeqRegressions:  st.seqRegr.Load(),
 	}
-	rep.Completed = rep.Recommend.Requests + rep.Annotations.Requests + rep.Tuples.Requests
+	rep.Completed = rep.Recommend.Requests + rep.Correlate.Requests + rep.Annotations.Requests + rep.Tuples.Requests
 	rep.AchievedRPS = float64(rep.Completed) / elapsed.Seconds()
 	if sc.Mode == "open" {
 		rep.OfferedRPS = float64(offered) / elapsed.Seconds()
@@ -434,12 +451,14 @@ var openWorkerID int64
 
 // doOne issues one request of the scenario's mix.
 func (st *runState) doOne(ctx context.Context, w *worker) {
-	total := st.sc.ReadFraction + st.sc.AnnotateFraction + st.sc.TupleFraction
+	total := st.sc.ReadFraction + st.sc.CorrelateRate + st.sc.AnnotateFraction + st.sc.TupleFraction
 	p := w.rng.Float64() * total
 	switch {
 	case p < st.sc.ReadFraction:
 		st.doRecommend(ctx, w)
-	case p < st.sc.ReadFraction+st.sc.AnnotateFraction:
+	case p < st.sc.ReadFraction+st.sc.CorrelateRate:
+		st.doCorrelate(ctx, w)
+	case p < st.sc.ReadFraction+st.sc.CorrelateRate+st.sc.AnnotateFraction:
 		st.doAnnotations(ctx, w)
 	default:
 		st.doTuples(ctx, w)
@@ -507,6 +526,76 @@ func (st *runState) doRecommend(ctx context.Context, w *worker) {
 			return
 		}
 		st.recommend.retries.Add(1)
+	}
+}
+
+// doCorrelate issues one anchor query, sampling the anchor from the
+// corpus's annotation stream so hot annotations repeat with realistic skew.
+// It shares doRecommend's contracts: reads round-robin across the read
+// endpoints, replica reads carry the write watermark as a min_seq barrier
+// (so the seq check below means violation, not lag), and a 429 from the
+// read admission cap counts once toward Shed and retries on the next
+// endpoint in the rotation. A 404 means the sampled anchor has no
+// occurrence in the answering snapshot yet — expected before the write mix
+// applies it — and counts as a miss, not an error.
+func (st *runState) doCorrelate(ctx context.Context, w *worker) {
+	anchor := w.stream.Annotations(1, st.relLen)[0].Annotation
+	for attempt := 0; ; attempt++ {
+		floor := st.maxAcked.Load()
+		url := st.reads[st.readIdx.Add(1)%uint64(len(st.reads))] +
+			"/correlate?anchor=" + neturl.QueryEscape(anchor)
+		if st.replicaReads && floor > 0 {
+			url += "&min_seq=" + strconv.FormatUint(floor, 10) + "&wait_ms=5000"
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			st.correlate.errors.Add(1)
+			return
+		}
+		startAt := time.Now()
+		resp, err := st.client.Do(req)
+		if err != nil {
+			if ctx.Err() == nil {
+				st.correlate.errors.Add(1)
+			}
+			return
+		}
+		if resp.StatusCode == http.StatusOK {
+			var body struct {
+				Seq uint64 `json:"seq"`
+			}
+			decodeErr := json.NewDecoder(resp.Body).Decode(&body)
+			drain(resp)
+			if decodeErr != nil {
+				st.correlate.errors.Add(1)
+				return
+			}
+			st.correlate.hist.Observe(time.Since(startAt))
+			st.correlate.requests.Add(1)
+			if body.Seq < floor {
+				st.seqRegr.Add(1)
+			}
+			return
+		}
+		retryAfter := resp.Header.Get("Retry-After")
+		drain(resp)
+		switch resp.StatusCode {
+		case http.StatusNotFound:
+			st.correlate.misses.Add(1)
+			return
+		case http.StatusTooManyRequests:
+		default:
+			st.correlate.errors.Add(1)
+			return
+		}
+		st.correlate.shed.Add(1)
+		if attempt >= st.sc.MaxRetries {
+			return
+		}
+		if !st.backoff(ctx, w, retryAfter) {
+			return
+		}
+		st.correlate.retries.Add(1)
 	}
 }
 

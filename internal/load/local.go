@@ -48,6 +48,13 @@ type LocalOptions struct {
 	// ReadRate caps admitted reads per second on each instance — primary
 	// and every follower alike (httpapi.Options.ReadRate; 0 = unlimited).
 	ReadRate float64
+	// Correlate starts the churn-anomaly detector on the primary (and on
+	// each follower, from its replicated stream); AnomalyWindow and
+	// AnomalyThreshold tune it (annotadb.CorrelateOptions). GET /correlate
+	// anchor queries are always served regardless.
+	Correlate        bool
+	AnomalyWindow    time.Duration
+	AnomalyThreshold float64
 	// MinSupport and MinConfidence are the mining thresholds (paper
 	// defaults 0.4 / 0.8 when zero).
 	MinSupport    float64
@@ -130,6 +137,11 @@ func StartLocal(o LocalOptions) (*Local, error) {
 			Disabled:       !o.Events,
 			RetainSegments: retain,
 			FlushWindow:    o.FlushWindow,
+		},
+		Correlate: annotadb.CorrelateOptions{
+			Anomalies:        o.Correlate && o.Events,
+			AnomalyWindow:    o.AnomalyWindow,
+			AnomalyThreshold: o.AnomalyThreshold,
 		},
 	}
 	seedDataset := func() (*annotadb.Dataset, error) {

@@ -201,6 +201,11 @@ type Stats struct {
 	Conflicts uint64
 	// TailErrors counts transient tail-loop failures.
 	TailErrors uint64
+	// Lag is the wall clock elapsed since the follower last confirmed the
+	// primary's position — applied a frame, or polled the log and found
+	// itself caught up. A healthy caught-up follower stays near the poll
+	// interval; one cut off from its primary grows without bound.
+	Lag time.Duration
 }
 
 // Follower tails a primary and maintains a serving world. Create with Start.
@@ -215,6 +220,10 @@ type Follower struct {
 	seq   uint64
 	runID string
 	seqCh chan struct{} // closed and replaced on every watermark change
+	// lastContact is when the follower last confirmed the primary's
+	// position (bootstrap, or a tail poll that reached the observed log
+	// size); Stats derives the wall-clock lag estimate from it.
+	lastContact time.Time
 
 	applied    atomic.Uint64
 	bootstraps atomic.Uint64
@@ -288,6 +297,7 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 	old := f.world.Swap(w)
 	f.epoch = ck.Epoch
 	f.from = wal.LogHeaderSize
+	f.noteContact()
 	f.noteRunID(runID)
 	if old != nil {
 		closeCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -409,12 +419,23 @@ func (f *Follower) noteRunID(runID string) {
 	f.mu.Unlock()
 }
 
+// noteContact stamps the freshness clock: the follower just confirmed the
+// primary's position.
+func (f *Follower) noteContact() {
+	f.mu.Lock()
+	f.lastContact = time.Now()
+	f.mu.Unlock()
+}
+
 // advance publishes a new watermark. Within one primary run it is a
 // monotonic max; a run id change (primary restart) resets it unconditionally
-// — the new run's sequences restarted from scratch.
+// — the new run's sequences restarted from scratch. Even a seq-unchanged
+// call stamps the freshness clock: the primary was reached and its position
+// confirmed, whether or not it moved.
 func (f *Follower) advance(seq uint64, runID string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.lastContact = time.Now()
 	switch {
 	case runID != "" && runID != f.runID:
 		f.runID = runID
@@ -486,12 +507,17 @@ func (f *Follower) WaitSeq(ctx context.Context, seq uint64) error {
 // Stats snapshots the follower's status.
 func (f *Follower) Stats() Stats {
 	f.mu.Lock()
-	seq, runID := f.seq, f.runID
+	seq, runID, contact := f.seq, f.runID, f.lastContact
 	f.mu.Unlock()
+	var lag time.Duration
+	if !contact.IsZero() {
+		lag = time.Since(contact)
+	}
 	st := Stats{
 		Primary:    f.opts.Primary,
 		RunID:      runID,
 		Seq:        seq,
+		Lag:        lag,
 		Applied:    f.applied.Load(),
 		Bootstraps: f.bootstraps.Load(),
 		Conflicts:  f.conflicts.Load(),

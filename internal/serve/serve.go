@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"annotadb/internal/correlate"
 	"annotadb/internal/incremental"
 	"annotadb/internal/metrics"
 	"annotadb/internal/predict"
@@ -808,6 +809,7 @@ func (s *Server) publish() {
 		Compiled:            predict.Compile(es.Rules, s.cfg.Recommend),
 		Attachments:         attachments,
 		DistinctAnnotations: distinct,
+		Correlate:           &correlate.Lazy{},
 	}
 	s.snap.Store(snap)
 	if s.cfg.Stream != nil && prev != nil {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"annotadb/internal/correlate"
 	"annotadb/internal/incremental"
 	"annotadb/internal/predict"
 	"annotadb/internal/relation"
@@ -46,4 +47,8 @@ type Snapshot struct {
 	// table, folded once at publish so stats polls do no per-call work.
 	Attachments         int
 	DistinctAnnotations int
+	// Correlate caches this generation's correlate index: built lazily by
+	// the first /correlate query against the snapshot, unreachable (and so
+	// invalidated) as soon as the next publish swaps the snapshot out.
+	Correlate *correlate.Lazy
 }

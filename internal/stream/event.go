@@ -40,6 +40,11 @@ const (
 	// KindConfidenceChanged: the rule stayed in its tier but its confidence
 	// counts (pattern count or LHS count) changed.
 	KindConfidenceChanged Kind = "confidence_changed"
+	// KindChurnAnomaly: a family's rule churn spiked above its EWMA
+	// baseline (the correlate package's detector). It carries the spiking
+	// family, the window's count and baseline, and the co-churned families
+	// observed in the same window, instead of a rule.
+	KindChurnAnomaly Kind = "churn_anomaly"
 	// KindGap is synthetic, delivered to a subscriber whose cursor fell
 	// behind the retained history (a slow consumer overrun by the ring, or
 	// a resume older than the retention policy keeps). It carries the missed
@@ -50,7 +55,7 @@ const (
 // ValidKind reports whether k is one of the wire kinds (gap included).
 func ValidKind(k Kind) bool {
 	switch k {
-	case KindAdded, KindPromoted, KindDemoted, KindRetired, KindConfidenceChanged, KindGap:
+	case KindAdded, KindPromoted, KindDemoted, KindRetired, KindConfidenceChanged, KindChurnAnomaly, KindGap:
 		return true
 	}
 	return false
@@ -131,6 +136,14 @@ type Event struct {
 	// From and To bound the missed cursor range of a gap event (inclusive).
 	From uint64 `json:"from,omitempty"`
 	To   uint64 `json:"to,omitempty"`
+	// WindowMillis, Count, Baseline, and Related are the churn_anomaly
+	// payload: the detection window, the family's churn-event count in it,
+	// the EWMA baseline it spiked against, and the co-churned families of
+	// the same window ranked by churn count ("what else changed").
+	WindowMillis int64    `json:"window_ms,omitempty"`
+	Count        uint64   `json:"count,omitempty"`
+	Baseline     float64  `json:"baseline,omitempty"`
+	Related      []string `json:"related,omitempty"`
 }
 
 // FamilyOf extracts the annotation family from a token: the prefix before

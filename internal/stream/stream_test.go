@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
@@ -350,6 +351,51 @@ func TestBrokerFiltersAndLiveSubscribe(t *testing.T) {
 	}
 	if ev := recv(tierSub); ev.Tier != TierCandidate || ev.RHS != "Annot_p:2" {
 		t.Errorf("tier filter delivered %+v", ev)
+	}
+}
+
+// TestChurnAnomalyRoundTripAndFilter: the churn_anomaly kind carries its
+// window payload through the durable encoding, and a Kinds filter isolates
+// it from the rule churn it rides alongside.
+func TestChurnAnomalyRoundTripAndFilter(t *testing.T) {
+	t.Parallel()
+	ev := Event{
+		Cursor: 9, Seq: 12, Kind: KindChurnAnomaly, Family: "Annot_k",
+		WindowMillis: 5000, Count: 37, Baseline: 4.25, Related: []string{"Annot_m", "Annot_p"},
+	}
+	raw, err := EncodeEvent(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEvent(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindChurnAnomaly || got.Family != "Annot_k" ||
+		got.WindowMillis != 5000 || got.Count != 37 || got.Baseline != 4.25 ||
+		!reflect.DeepEqual(got.Related, []string{"Annot_m", "Annot_p"}) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+
+	b := NewBroker(Options{})
+	defer b.Close()
+	sub, err := b.Subscribe(context.Background(), SubscribeOptions{From: 1, Kinds: []Kind{KindChurnAnomaly}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(0, 1, []Event{
+		{Kind: KindAdded, Tier: TierValid, Family: "Annot_k", RHS: "Annot_k:2"},
+		{Kind: KindChurnAnomaly, Family: "Annot_k", WindowMillis: 100, Count: 8, Baseline: 1, Related: []string{"Annot_m"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-sub.Events:
+		if ev.Kind != KindChurnAnomaly || ev.Count != 8 || len(ev.Related) != 1 {
+			t.Fatalf("kind filter delivered %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("filtered churn_anomaly never arrived")
 	}
 }
 

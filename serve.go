@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"annotadb/internal/correlate"
 	"annotadb/internal/incremental"
 	"annotadb/internal/itemset"
 	"annotadb/internal/metrics"
@@ -69,6 +70,12 @@ type ServeOptions struct {
 	// segment rotation and retention. The zero value enables the stream
 	// with defaults; set Stream.Disabled to turn it off.
 	Stream StreamOptions
+	// Correlate configures the correlation-discovery subsystem. Anchor
+	// queries (Server.Correlate, GET /correlate) are always served — they
+	// are pure snapshot reads whose per-generation index costs nothing
+	// until the first query — so these options only govern the
+	// churn-anomaly detector.
+	Correlate CorrelateOptions
 }
 
 // Server serves rules and recommendations concurrently while annotations
@@ -111,6 +118,14 @@ type Server struct {
 	// after the writers have drained.
 	stream   *stream.Broker
 	eventLog *wal.SegmentedLog
+
+	// detector is the churn-anomaly detector (nil unless
+	// CorrelateOptions.Anomalies); closeStream stops it before sealing the
+	// broker it both consumes and publishes to. correlateBuilds and
+	// correlateHits count per-generation correlate index builds vs reuses.
+	detector        *correlate.Detector
+	correlateBuilds atomic.Uint64
+	correlateHits   atomic.Uint64
 
 	// rendered memoizes the token-rendered rules of one snapshot, so that
 	// serving GET /rules-style reads does not re-resolve dictionary tokens
@@ -168,13 +183,18 @@ func NewServer(e *Engine, opts ServeOptions) (*Server, error) {
 			}
 			return nil, err
 		}
-		return &Server{
+		s := &Server{
 			router:   router,
 			cluster:  e.cluster,
 			stream:   broker,
 			eventLog: eventLog,
 			retry:    retryHint(opts.BatchWindow, storeFlushWindow(nil, e.cluster.Stores())),
-		}, nil
+		}
+		if err := s.startDetector(opts.Correlate, nil); err != nil {
+			s.Close(context.Background()) //nolint:errcheck
+			return nil, err
+		}
+		return s, nil
 	}
 	if opts.Shards > 1 {
 		if e.store != nil {
@@ -220,6 +240,10 @@ func NewServer(e *Engine, opts ServeOptions) (*Server, error) {
 		}
 		s.replicaSrc = src
 	}
+	if err := s.startDetector(opts.Correlate, s.core.Seq); err != nil {
+		s.Close(context.Background()) //nolint:errcheck
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -258,7 +282,31 @@ func newShardedInMemory(d *Dataset, cfg mining.Config, sopts ServeOptions) (*Ser
 		}
 		return nil, err
 	}
-	return &Server{router: router, stream: broker, retry: retryHint(sopts.BatchWindow, 0)}, nil
+	s := &Server{router: router, stream: broker, retry: retryHint(sopts.BatchWindow, 0)}
+	if err := s.startDetector(sopts.Correlate, nil); err != nil {
+		s.Close(context.Background()) //nolint:errcheck
+		return nil, err
+	}
+	return s, nil
+}
+
+// startDetector starts the churn-anomaly detector when the options ask for
+// one and the server has an event stream to watch. seqFn stamps emitted
+// events with a serving generation; nil stamps 0 — mandatory on sharded
+// brokers, whose seq vector only shard publishers may advance.
+func (s *Server) startDetector(opts CorrelateOptions, seqFn func() uint64) error {
+	if !opts.Anomalies || s.stream == nil {
+		return nil
+	}
+	d, err := correlate.StartDetector(s.stream, correlate.DetectorOptions{
+		Window:    opts.AnomalyWindow,
+		Threshold: opts.AnomalyThreshold,
+	}, seqFn)
+	if err != nil {
+		return err
+	}
+	s.detector = d
+	return nil
 }
 
 func (o ServeOptions) internal() serve.Config {
@@ -348,9 +396,14 @@ func (s *Server) Close(ctx context.Context) error {
 	return err
 }
 
-// closeStream closes the churn broker (and its segment log). Idempotent;
-// called only after the writer loops have drained.
+// closeStream closes the churn broker (and its segment log), stopping the
+// anomaly detector first — it both consumes from and publishes to the
+// broker, so it must be gone before the broker seals. Idempotent; called
+// only after the writer loops have drained.
 func (s *Server) closeStream() error {
+	if s.detector != nil {
+		s.detector.Stop()
+	}
 	if s.stream == nil {
 		return nil
 	}

@@ -21,6 +21,11 @@ const (
 	EventRuleDemoted       = "rule_demoted"
 	EventRuleRetired       = "rule_retired"
 	EventConfidenceChanged = "confidence_changed"
+	// EventChurnAnomaly: a family's rule churn spiked above its EWMA
+	// baseline (see CorrelateOptions.Anomalies). The event carries the
+	// spiking family plus WindowMillis, Count, Baseline, and Related
+	// instead of a rule.
+	EventChurnAnomaly = "churn_anomaly"
 	// EventGap is synthetic: the subscriber's position fell out of retained
 	// history (a slow consumer, or a resume older than the retention policy
 	// keeps). From and To bound the missed cursors; delivery then continues
@@ -79,6 +84,14 @@ type Event struct {
 	// From and To bound a gap event's missed cursor range (inclusive).
 	From uint64
 	To   uint64
+	// WindowMillis, Count, Baseline, and Related are the churn_anomaly
+	// payload: the detection window, the family's churn-event count in it,
+	// the EWMA baseline it spiked against, and the co-churned families of
+	// the same window ranked by churn count.
+	WindowMillis int64
+	Count        uint64
+	Baseline     float64
+	Related      []string
 }
 
 // SubscribeOptions position and filter one churn subscription.
@@ -220,6 +233,11 @@ func publicEvent(ev stream.Event) Event {
 		New:       publicCounts(ev.New),
 		From:      ev.From,
 		To:        ev.To,
+
+		WindowMillis: ev.WindowMillis,
+		Count:        ev.Count,
+		Baseline:     ev.Baseline,
+		Related:      ev.Related,
 	}
 }
 
